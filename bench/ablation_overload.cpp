@@ -1,0 +1,65 @@
+// Network friendliness — quantifies the paper's §I-B claim behind
+// Fig. 7 (right): "due to these conservative transient rate assignments,
+// it is expected that the network links will not suffer from packet
+// overloading before convergence", versus BFYZ which overestimates and
+// transiently oversubscribes bottlenecks.
+//
+// Both protocols run the same join burst; sessions are assumed to
+// transmit at whatever rate the protocol last granted them; we integrate
+// per-link assigned load over time and report peak utilization and the
+// time links spent above capacity.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "exp3_common.hpp"
+#include "stats/table.hpp"
+#include "workload/load_monitor.hpp"
+
+using namespace bneck;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::Args::parse(argc, argv);
+  benchutil::banner("Network friendliness (paper §I-B)",
+                    "peak link utilization from assigned rates");
+
+  const std::int32_t sessions = args.scaled(1000, 100);
+  const auto setup = benchutil::make_exp3_setup(sessions, args.seed);
+  const TimeNs horizon = milliseconds(60);
+  std::printf("medium LAN network, %d sessions join / %zu leave in 5ms\n\n",
+              sessions, setup.leavers);
+
+  stats::Table table({"protocol", "peak utilization", "overloaded links",
+                      "worst overload time"});
+  for (const char* kind : {"B-Neck", "BFYZ"}) {
+    sim::Simulator sim;
+    auto p = benchutil::start_protocol(kind, sim, setup, args.seed);
+    workload::LinkLoadMonitor monitor(setup.network);
+    for (const auto& plan : setup.plans) {
+      monitor.register_session(plan.id, plan.path);
+    }
+    // Sample assigned rates densely (50 us) and feed the monitor.
+    for (TimeNs t = microseconds(50); t <= horizon; t += microseconds(50)) {
+      sim.run_until(t);
+      for (const auto& plan : setup.plans) {
+        monitor.set_rate(plan.id, p->current_rate(plan.id), t);
+      }
+    }
+    monitor.finalize(horizon);
+    p->shutdown();
+    table.add_row(
+        {kind, stats::Table::num(monitor.max_utilization() * 100, 1) + "%",
+         stats::Table::integer(
+             static_cast<std::int64_t>(monitor.overloaded_links().size())),
+         format_time(monitor.worst_overload())});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nShape check: B-Neck oversubscribes far fewer links, far less\n"
+      "deeply and far more briefly than BFYZ.  Its residual overshoot\n"
+      "comes from premature bottleneck certification (paper §III-C):\n"
+      "a short session can be certified high before a longer session's\n"
+      "Join reaches its links; the Update cascade repairs it within a\n"
+      "few RTTs, whereas BFYZ's optimistic offers oversubscribe most\n"
+      "bottlenecks for the whole convergence phase.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every binary runs with no arguments at a scaled-down default (so
+// `for b in build/bench/*; do $b; done` finishes in minutes) and accepts
+//   --scale <f>   multiply workload sizes by f (1.0 = paper scale where
+//                 stated, defaults are well below 1)
+//   --seed <n>    RNG seed
+// plus bench-specific flags documented in each binary's header comment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace bneck::benchutil {
+
+struct Args {
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  bool full = false;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+        a.scale = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        a.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--full") == 0) {
+        a.full = true;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("flags: --scale <f> --seed <n> --full\n");
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+
+  /// n scaled, at least lo.
+  [[nodiscard]] std::int32_t scaled(std::int32_t n, std::int32_t lo = 1) const {
+    const auto s = static_cast<std::int32_t>(static_cast<double>(n) * scale);
+    return s < lo ? lo : s;
+  }
+};
+
+inline void banner(const char* figure, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bneck::benchutil

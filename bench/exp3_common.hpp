@@ -1,0 +1,64 @@
+// Shared setup for the Experiment 3 benches (Figures 7 and 8 and the
+// CG/RCP non-convergence observation): a Medium LAN network where N
+// sessions join and N/10 of them leave within the first 5 ms.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "proto/bfyz.hpp"
+#include "proto/bneck_driver.hpp"
+#include "proto/cg.hpp"
+#include "proto/rcp.hpp"
+#include "topo/transit_stub.hpp"
+#include "workload/experiment.hpp"
+
+namespace bneck::benchutil {
+
+struct Exp3Setup {
+  net::Network network;
+  std::vector<workload::SessionPlan> plans;
+  std::size_t leavers = 0;
+  TimeNs churn_window = milliseconds(5);
+};
+
+inline Exp3Setup make_exp3_setup(std::int32_t sessions, std::uint64_t seed) {
+  Exp3Setup setup;
+  auto params = topo::medium_params();
+  params.hosts = sessions * 2;
+  Rng rng(seed);
+  setup.network = topo::make_transit_stub(params, rng);
+  const net::PathFinder paths(setup.network);
+  workload::WorkloadConfig wcfg;
+  wcfg.sessions = sessions;
+  wcfg.join_window = setup.churn_window - microseconds(500);
+  setup.plans = workload::generate_sessions(setup.network, paths, wcfg, rng);
+  setup.leavers = static_cast<std::size_t>(sessions / 10);
+  return setup;
+}
+
+/// Instantiates a protocol by name over a fresh simulator and schedules
+/// the joins and the leaves (the last `leavers` planned sessions leave).
+inline std::unique_ptr<proto::FairShareProtocol> start_protocol(
+    const std::string& kind, sim::Simulator& sim, const Exp3Setup& setup,
+    std::uint64_t seed, core::TraceSink* trace = nullptr) {
+  std::unique_ptr<proto::FairShareProtocol> p;
+  if (kind == "B-Neck") {
+    p = std::make_unique<proto::BneckDriver>(sim, setup.network,
+                                             core::BneckConfig{}, trace);
+  } else if (kind == "BFYZ") {
+    p = std::make_unique<proto::Bfyz>(sim, setup.network);
+  } else if (kind == "CG") {
+    p = std::make_unique<proto::CobbGouda>(sim, setup.network);
+  } else {
+    p = std::make_unique<proto::Rcp>(sim, setup.network);
+  }
+  workload::schedule_joins(sim, *p, setup.plans);
+  Rng leave_rng(seed ^ 0xfeedfaceULL);
+  workload::schedule_leaves(sim, *p, setup.plans,
+                            setup.plans.size() - setup.leavers, setup.leavers,
+                            setup.churn_window, leave_rng);
+  return p;
+}
+
+}  // namespace bneck::benchutil

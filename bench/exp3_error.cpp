@@ -1,0 +1,76 @@
+// Experiment 3 — paper Figure 7: distribution of the relative error of
+// assigned rates, B-Neck vs BFYZ.
+//
+//   left  — error at sources:  e = 100 (a - x)/x per session
+//   right — error in network links: e = 100 (Σa - Σx)/Σx per bottleneck
+//
+// Medium LAN network; the paper joins 100k sessions and removes 10k in
+// the first 5 ms, then samples every 3 ms.  Default here is 2,000
+// sessions (1/50); --scale adjusts (--scale 50 ≈ paper).
+//
+// Expected shape: B-Neck's percentiles stay at or below zero (it only
+// assigns conservative transient rates: sessions without a confirmed
+// rate score -100, never above the max-min value once joins drain),
+// while BFYZ overshoots — positive 90th percentile and link-stress error
+// early on — and takes longer to settle at zero.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "exp3_common.hpp"
+#include "stats/table.hpp"
+
+using namespace bneck;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::Args::parse(argc, argv);
+  benchutil::banner("Figure 7", "relative rate error at sources and links");
+
+  const std::int32_t sessions = args.full ? 100000 : args.scaled(2000, 100);
+  const auto setup = benchutil::make_exp3_setup(sessions, args.seed);
+  std::printf("medium LAN network, %d sessions join / %zu leave in 5ms\n\n",
+              sessions, setup.leavers);
+
+  workload::TrackedConfig tcfg;
+  tcfg.horizon = milliseconds(120);
+  tcfg.sample_interval = milliseconds(3);
+  tcfg.tolerance_percent = 0.5;
+
+  for (const char* kind : {"B-Neck", "BFYZ"}) {
+    sim::Simulator sim;
+    auto p = benchutil::start_protocol(kind, sim, setup, args.seed);
+    const auto result = workload::run_tracked(sim, *p, setup.network, tcfg);
+    p->shutdown();
+
+    std::printf("--- %s: error at sources (percent) ---\n", kind);
+    stats::Table src({"t[ms]", "p10", "median", "avg", "p90"});
+    stats::Table lnk({"t[ms]", "p10", "median", "avg", "p90"});
+    for (const auto& s : result.samples) {
+      src.add_row({stats::Table::num(to_millis(s.t), 0),
+                   stats::Table::num(s.source_error.p10, 2),
+                   stats::Table::num(s.source_error.p50, 2),
+                   stats::Table::num(s.source_error.mean, 2),
+                   stats::Table::num(s.source_error.p90, 2)});
+      lnk.add_row({stats::Table::num(to_millis(s.t), 0),
+                   stats::Table::num(s.link_error.p10, 2),
+                   stats::Table::num(s.link_error.p50, 2),
+                   stats::Table::num(s.link_error.mean, 2),
+                   stats::Table::num(s.link_error.p90, 2)});
+    }
+    src.print(std::cout);
+    std::printf("--- %s: error in network links (percent) ---\n", kind);
+    lnk.print(std::cout);
+    if (result.converged_at) {
+      std::printf("%s converged (max|e| <= %.1f%%) at %s\n\n", kind,
+                  tcfg.tolerance_percent,
+                  format_time(*result.converged_at).c_str());
+    } else {
+      std::printf("%s did NOT converge within %s\n\n", kind,
+                  format_time(tcfg.horizon).c_str());
+    }
+  }
+  std::printf(
+      "Shape check vs paper Fig. 7: B-Neck's p90 stays <= 0 (conservative\n"
+      "transients) and reaches 0 first; BFYZ shows positive overshoot at\n"
+      "sources and bottleneck links before settling.\n");
+  return 0;
+}

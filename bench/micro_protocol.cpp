@@ -1,0 +1,100 @@
+// Micro-benchmarks of the protocols themselves (google-benchmark):
+// end-to-end B-Neck convergence runs (how many sessions per second of
+// wall clock the simulator pushes to quiescence) and the per-cycle cost
+// of the baselines.
+#include <benchmark/benchmark.h>
+
+#include "proto/bfyz.hpp"
+#include "proto/bneck_driver.hpp"
+#include "topo/transit_stub.hpp"
+#include "workload/experiment.hpp"
+
+namespace bneck {
+namespace {
+
+struct Instance {
+  net::Network network;
+  std::vector<workload::SessionPlan> plans;
+};
+
+const Instance& instance(std::int32_t sessions) {
+  static std::map<std::int32_t, Instance> cache;
+  auto it = cache.find(sessions);
+  if (it == cache.end()) {
+    Instance inst;
+    auto params = topo::small_params();
+    params.hosts = sessions * 2;
+    Rng rng(7);
+    inst.network = topo::make_transit_stub(params, rng);
+    const net::PathFinder pf(inst.network);
+    workload::WorkloadConfig wcfg;
+    wcfg.sessions = sessions;
+    inst.plans = workload::generate_sessions(inst.network, pf, wcfg, rng);
+    it = cache.emplace(sessions, std::move(inst)).first;
+  }
+  return it->second;
+}
+
+void BM_BneckJoinBurstToQuiescence(benchmark::State& state) {
+  const auto sessions = static_cast<std::int32_t>(state.range(0));
+  const Instance& inst = instance(sessions);
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    proto::BneckDriver driver(sim, inst.network);
+    workload::schedule_joins(sim, driver, inst.plans);
+    sim.run_until_idle();
+    packets = driver.packets_sent();
+    benchmark::DoNotOptimize(packets);
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+  state.counters["packets"] = static_cast<double>(packets);
+}
+BENCHMARK(BM_BneckJoinBurstToQuiescence)->Arg(100)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BneckSingleLeaveReconvergence(benchmark::State& state) {
+  // Steady-state reactivity: one departure out of N established sessions.
+  const auto sessions = static_cast<std::int32_t>(state.range(0));
+  const Instance& inst = instance(sessions);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    proto::BneckDriver driver(sim, inst.network);
+    workload::schedule_joins(sim, driver, inst.plans);
+    sim.run_until_idle();
+    state.ResumeTiming();
+    driver.leave(inst.plans.front().id);
+    sim.run_until_idle();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BneckSingleLeaveReconvergence)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BfyzSimulatedMillisecond(benchmark::State& state) {
+  // Cost of keeping the non-quiescent baseline alive for 1 ms of
+  // simulated time at N sessions (B-Neck's cost for the same interval
+  // after convergence is zero).
+  const auto sessions = static_cast<std::int32_t>(state.range(0));
+  const Instance& inst = instance(sessions);
+  sim::Simulator sim;
+  proto::Bfyz bfyz(sim, inst.network);
+  for (const auto& plan : inst.plans) {
+    sim.schedule_at(plan.join_at,
+                    [&bfyz, plan] { bfyz.join(plan.id, plan.path, plan.demand); });
+  }
+  sim.run_until(milliseconds(20));  // settle
+  for (auto _ : state) {
+    sim.run_until(sim.now() + milliseconds(1));
+  }
+  bfyz.shutdown();
+  state.SetItemsProcessed(state.iterations() * sessions);
+}
+BENCHMARK(BM_BfyzSimulatedMillisecond)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bneck
+
+BENCHMARK_MAIN();

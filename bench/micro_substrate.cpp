@@ -1,0 +1,155 @@
+// Micro-benchmarks of the substrates (google-benchmark): event queue
+// throughput, FIFO channels, link-table operations, routing and the
+// centralized solvers.  These bound the simulation cost per protocol
+// packet and validate that the paper-scale runs are feasible.
+#include <benchmark/benchmark.h>
+
+#include "core/link_table.hpp"
+#include "core/maxmin.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+#include "topo/canonical.hpp"
+#include "topo/transit_stub.hpp"
+
+namespace bneck {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t sum = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(i % 1000, [&sum, i] { sum += i; });
+    }
+    sim.run_until_idle();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_FifoChannelTransmit(benchmark::State& state) {
+  sim::FifoChannel ch;
+  TimeNs now = 0;
+  for (auto _ : state) {
+    now += 10;
+    benchmark::DoNotOptimize(ch.transmit(now, 5, 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoChannelTransmit);
+
+void BM_LinkTableInsertEraseCycle(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    core::LinkSessionTable t(1000.0);
+    for (std::int32_t i = 0; i < n; ++i) {
+      t.insert_R(SessionId{i}, 1);
+      t.set_idle_with_lambda(SessionId{i}, 1000.0 / (1 + i % 10));
+    }
+    benchmark::DoNotOptimize(t.be());
+    for (std::int32_t i = 0; i < n; ++i) t.erase(SessionId{i});
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LinkTableInsertEraseCycle)->Arg(100)->Arg(10000);
+
+void BM_LinkTableBottleneckPredicate(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  core::LinkSessionTable t(1000.0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    t.insert_R(SessionId{i}, 1);
+    t.set_idle_with_lambda(SessionId{i}, 1000.0 / n);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.all_R_idle_at_be());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkTableBottleneckPredicate)->Arg(100)->Arg(10000);
+
+void BM_TransitStubGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto params = state.range(0) == 0 ? topo::small_params()
+                                      : topo::medium_params();
+    params.hosts = 1000;
+    Rng rng(1);
+    const auto n = topo::make_transit_stub(params, rng);
+    benchmark::DoNotOptimize(n.link_count());
+  }
+}
+BENCHMARK(BM_TransitStubGeneration)->Arg(0)->Arg(1);
+
+void BM_ShortestPathQuery(benchmark::State& state) {
+  auto params = topo::medium_params();
+  params.hosts = 2000;
+  Rng rng(2);
+  const auto network = topo::make_transit_stub(params, rng);
+  const net::PathFinder pf(network);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const NodeId a = network.hosts()[i % 2000];
+    const NodeId b = network.hosts()[(i * 7 + 1) % 2000];
+    ++i;
+    if (a == b) continue;
+    benchmark::DoNotOptimize(pf.shortest_path(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShortestPathQuery);
+
+// Shared across the two solver benchmarks (built once).
+const net::Network* g_solver_net = nullptr;
+std::vector<core::SessionSpec>* g_solver_specs = nullptr;
+
+void solver_setup(std::int32_t sessions) {
+  static std::optional<net::Network> network;
+  static std::vector<core::SessionSpec> specs;
+  static std::int32_t built_for = -1;
+  if (built_for != sessions) {
+    auto params = topo::small_params();
+    params.hosts = sessions * 2;
+    Rng rng(3);
+    network = topo::make_transit_stub(params, rng);
+    const net::PathFinder pf(*network);
+    specs.clear();
+    for (std::int32_t i = 0; i < sessions; ++i) {
+      const NodeId a = network->hosts()[static_cast<std::size_t>(i)];
+      NodeId b = a;
+      while (b == a) {
+        b = network->hosts()[static_cast<std::size_t>(
+            rng.uniform_int(0, sessions * 2 - 1))];
+      }
+      specs.push_back({SessionId{i}, *pf.shortest_path(a, b), kRateInfinity});
+    }
+    built_for = sessions;
+  }
+  g_solver_net = &*network;
+  g_solver_specs = &specs;
+}
+
+void BM_WaterfillSolver(benchmark::State& state) {
+  solver_setup(static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_waterfill(*g_solver_net, *g_solver_specs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WaterfillSolver)->Arg(100)->Arg(2000);
+
+void BM_ReferenceSolver(benchmark::State& state) {
+  solver_setup(static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_reference(*g_solver_net, *g_solver_specs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReferenceSolver)->Arg(100)->Arg(2000);
+
+}  // namespace
+}  // namespace bneck
+
+BENCHMARK_MAIN();

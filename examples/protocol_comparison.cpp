@@ -1,0 +1,112 @@
+// Protocol comparison: quiescent vs non-quiescent on the same workload.
+//
+// Runs B-Neck, BFYZ, CG and RCP on an identical session set and prints,
+// per protocol: when it reached the max-min rates (within tolerance) and
+// how much control traffic it generated while converging — and, the
+// point of the paper, how much it keeps generating *after* convergence.
+//
+//   $ ./examples/protocol_comparison [sessions] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "proto/bfyz.hpp"
+#include "proto/bneck_driver.hpp"
+#include "proto/cg.hpp"
+#include "proto/rcp.hpp"
+#include "stats/table.hpp"
+#include "topo/transit_stub.hpp"
+#include "workload/experiment.hpp"
+
+using namespace bneck;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::optional<TimeNs> converged;
+  std::uint64_t packets_at_convergence = 0;
+  std::uint64_t packets_after = 0;  // in the 30ms after convergence
+};
+
+Row run_one(const std::string& kind, const net::Network& network,
+            const std::vector<workload::SessionPlan>& plans) {
+  sim::Simulator sim;
+  std::unique_ptr<proto::FairShareProtocol> p;
+  if (kind == "B-Neck") {
+    p = std::make_unique<proto::BneckDriver>(sim, network);
+  } else if (kind == "BFYZ") {
+    p = std::make_unique<proto::Bfyz>(sim, network);
+  } else if (kind == "CG") {
+    p = std::make_unique<proto::CobbGouda>(sim, network);
+  } else {
+    p = std::make_unique<proto::Rcp>(sim, network);
+  }
+  workload::schedule_joins(sim, *p, plans);
+
+  workload::TrackedConfig cfg;
+  cfg.horizon = milliseconds(150);
+  cfg.sample_interval = microseconds(250);
+  cfg.tolerance_percent = 1.0;
+  workload::ErrorSampler sampler(network, *p);
+  Row row{kind, std::nullopt, 0, 0};
+  for (TimeNs t = cfg.sample_interval; t <= cfg.horizon;
+       t += cfg.sample_interval) {
+    sim.run_until(t);
+    const auto s = sampler.sample(t);
+    if (s.sessions > 0 && s.max_abs_error <= cfg.tolerance_percent) {
+      row.converged = t;
+      row.packets_at_convergence = p->packets_sent();
+      break;
+    }
+  }
+  if (row.converged) {
+    sim.run_until(*row.converged + milliseconds(30));
+    row.packets_after = p->packets_sent() - row.packets_at_convergence;
+  }
+  p->shutdown();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int32_t sessions = argc > 1 ? std::atoi(argv[1]) : 100;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  auto params = topo::small_params();
+  params.hosts = sessions * 3;
+  Rng rng(seed);
+  const net::Network network = topo::make_transit_stub(params, rng);
+  const net::PathFinder paths(network);
+  workload::WorkloadConfig wcfg;
+  wcfg.sessions = sessions;
+  const auto plans = workload::generate_sessions(network, paths, wcfg, rng);
+
+  std::printf(
+      "%d sessions join a %d-router LAN transit-stub within 1 ms;\n"
+      "convergence = all rates within 1%% of the max-min solution\n\n",
+      sessions, network.router_count());
+
+  stats::Table table({"protocol", "converged at", "packets to converge",
+                      "packets in next 30ms"});
+  for (const char* kind : {"B-Neck", "BFYZ", "CG", "RCP"}) {
+    const Row row = run_one(kind, network, plans);
+    table.add_row(
+        {row.name,
+         row.converged ? format_time(*row.converged) : "not in 150ms",
+         row.converged ? stats::Table::integer(
+                             static_cast<std::int64_t>(row.packets_at_convergence))
+                       : "-",
+         row.converged ? stats::Table::integer(
+                             static_cast<std::int64_t>(row.packets_after))
+                       : "-"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nB-Neck's 'packets in next 30ms' is only the in-flight tail of the\n"
+      "last certification pass, then silence — it is quiescent; the other\n"
+      "protocols keep their full control-packet plateau forever.\n");
+  return 0;
+}

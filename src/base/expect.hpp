@@ -1,0 +1,30 @@
+// Internal invariant checking.
+//
+// BNECK_EXPECT guards preconditions and protocol invariants.  Violations
+// throw bneck::InvariantError so tests can assert on them; they are never
+// compiled out, because the cost is negligible next to the work they guard
+// and a silently corrupted simulation is worse than a slow one.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bneck {
+
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void fail_invariant(const char* cond, const char* msg,
+                                        const char* file, int line) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": invariant failed: " + cond + " (" + msg + ")");
+}
+
+}  // namespace bneck
+
+#define BNECK_EXPECT(cond, msg)                                 \
+  do {                                                          \
+    if (!(cond)) ::bneck::fail_invariant(#cond, msg, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,59 @@
+// Strongly typed integer identifiers.
+//
+// The simulator, the network model and the protocols all index entities
+// (nodes, directed links, sessions) by dense 32-bit integers.  Using a
+// distinct type per entity kind prevents accidentally passing a LinkId
+// where a NodeId is expected, at zero runtime cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace bneck {
+
+/// CRTP-free strong id: `Id<Tag>` wraps an int32 with equality, ordering
+/// and hashing.  `Id<Tag>{}` is the invalid id (-1).
+template <class Tag>
+struct Id {
+  std::int32_t v = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const { return v >= 0; }
+  [[nodiscard]] constexpr std::int32_t value() const { return v; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.v == b.v; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.v != b.v; }
+  friend constexpr bool operator<(Id a, Id b) { return a.v < b.v; }
+  friend constexpr bool operator>(Id a, Id b) { return a.v > b.v; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.v <= b.v; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.v >= b.v; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.v;
+  }
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct SessionTag {};
+
+/// A node of the network graph (router or host).
+using NodeId = Id<NodeTag>;
+/// A *directed* link of the network graph.
+using LinkId = Id<LinkTag>;
+/// A session (single-path source/destination flow).
+using SessionId = Id<SessionTag>;
+
+}  // namespace bneck
+
+namespace std {
+template <class Tag>
+struct hash<bneck::Id<Tag>> {
+  size_t operator()(bneck::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.v);
+  }
+};
+}  // namespace std

@@ -1,0 +1,42 @@
+#include "base/rate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/time.hpp"
+
+namespace bneck {
+
+bool rate_eq(Rate a, Rate b, double eps) {
+  if (a == b) return true;  // covers equal infinities and exact hits
+  if (std::isinf(a) || std::isinf(b)) return false;
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= eps * scale;
+}
+
+bool rate_lt(Rate a, Rate b, double eps) { return a < b && !rate_eq(a, b, eps); }
+
+bool rate_gt(Rate a, Rate b, double eps) { return a > b && !rate_eq(a, b, eps); }
+
+std::string format_rate(Rate r) {
+  if (std::isinf(r)) return "inf";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f Mbps", r);
+  return buf;
+}
+
+std::string format_time(TimeNs t) {
+  char buf[48];
+  if (t >= seconds(1)) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds(t));
+  } else if (t >= milliseconds(1)) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_millis(t));
+  } else if (t >= microseconds(1)) {
+    std::snprintf(buf, sizeof buf, "%.3fus", to_micros(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace bneck

@@ -1,0 +1,51 @@
+// Rates, capacities and tolerant comparison.
+//
+// Rates and link capacities are doubles in megabits per second (Mbps).
+// The B-Neck pseudocode compares rates for *exact* equality (lambda = Be);
+// with floating point, sums over session sets computed in different orders
+// round differently, so every rate comparison in this code base goes
+// through the tolerant helpers below (relative epsilon, default 1e-9).
+// See DESIGN.md §3 "Rate equality".
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace bneck {
+
+/// A data rate or link capacity in Mbps.
+using Rate = double;
+
+/// Rate representing "no limit" (a session that never caps its demand).
+constexpr Rate kRateInfinity = std::numeric_limits<Rate>::infinity();
+
+/// Default relative tolerance for rate comparisons.  Max-min computations
+/// on realistic capacities (1e2..1e3 Mbps) accumulate error well below
+/// this, while distinct bottleneck rates generically differ by far more.
+constexpr double kRateEps = 1e-9;
+
+/// True if a and b are equal up to relative tolerance eps (absolute
+/// tolerance near zero).  Handles equal infinities.
+[[nodiscard]] bool rate_eq(Rate a, Rate b, double eps = kRateEps);
+
+/// True if a < b and they are not rate_eq.
+[[nodiscard]] bool rate_lt(Rate a, Rate b, double eps = kRateEps);
+
+/// True if a > b and they are not rate_eq.
+[[nodiscard]] bool rate_gt(Rate a, Rate b, double eps = kRateEps);
+
+/// True if a < b or a ≈ b.
+[[nodiscard]] inline bool rate_le(Rate a, Rate b, double eps = kRateEps) {
+  return !rate_gt(a, b, eps);
+}
+
+/// True if a > b or a ≈ b.
+[[nodiscard]] inline bool rate_ge(Rate a, Rate b, double eps = kRateEps) {
+  return !rate_lt(a, b, eps);
+}
+
+/// Renders a rate as e.g. "12.50 Mbps" ("inf" for unlimited).
+std::string format_rate(Rate r);
+
+}  // namespace bneck

@@ -1,0 +1,32 @@
+#include "base/rng.hpp"
+
+#include <unordered_set>
+
+namespace bneck {
+
+std::vector<std::int32_t> sample_distinct(Rng& rng, std::int32_t n,
+                                          std::int32_t k) {
+  BNECK_EXPECT(k >= 0 && k <= n, "sample_distinct: k out of range");
+  std::vector<std::int32_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k > n / 3) {
+    // Dense case: partial Fisher-Yates over the full range.
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n));
+    for (std::int32_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    for (std::int32_t i = 0; i < k; ++i) {
+      const auto j = static_cast<std::size_t>(rng.uniform_int(i, n - 1));
+      std::swap(all[static_cast<std::size_t>(i)], all[j]);
+      out.push_back(all[static_cast<std::size_t>(i)]);
+    }
+  } else {
+    // Sparse case: rejection sampling.
+    std::unordered_set<std::int32_t> seen;
+    while (static_cast<std::int32_t>(out.size()) < k) {
+      const auto x = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+      if (seen.insert(x).second) out.push_back(x);
+    }
+  }
+  return out;
+}
+
+}  // namespace bneck

@@ -1,0 +1,78 @@
+// Seeded deterministic random number generator.
+//
+// Every stochastic component (topology generation, workload schedules,
+// WAN delay assignment) draws from an explicitly seeded Rng so that runs
+// are reproducible; there is no global random state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "base/expect.hpp"
+
+namespace bneck {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    BNECK_EXPECT(lo <= hi, "uniform_int: empty range");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).  Requires lo <= hi.
+  double uniform_real(double lo, double hi) {
+    BNECK_EXPECT(lo <= hi, "uniform_real: empty range");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) { return uniform_real(0.0, 1.0) < p; }
+
+  /// Exponentially distributed draw with the given mean (> 0).
+  double exponential(double mean) {
+    BNECK_EXPECT(mean > 0, "exponential mean must be positive");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Uniformly chosen element of a non-empty span.
+  template <class T>
+  const T& pick(std::span<const T> items) {
+    BNECK_EXPECT(!items.empty(), "pick: empty span");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  template <class T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[static_cast<std::size_t>(uniform_int(
+                                  0, static_cast<std::int64_t>(i) - 1))]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give subsystems
+  /// their own streams so adding draws in one does not perturb another.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// k distinct integers sampled uniformly from [0, n).  Requires k <= n.
+std::vector<std::int32_t> sample_distinct(Rng& rng, std::int32_t n,
+                                          std::int32_t k);
+
+}  // namespace bneck

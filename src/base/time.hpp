@@ -1,0 +1,37 @@
+// Simulated time.
+//
+// All simulated time is kept as integral nanoseconds (TimeNs).  Integral
+// time makes event ordering exact and runs reproducible; nanosecond
+// resolution is fine enough that link transmission times (fractions of a
+// microsecond) do not collapse to zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bneck {
+
+/// Simulated time in nanoseconds since the start of the run.
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kTimeNever = INT64_MAX;
+
+constexpr TimeNs nanoseconds(std::int64_t n) { return n; }
+constexpr TimeNs microseconds(std::int64_t us) { return us * 1'000; }
+constexpr TimeNs milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr TimeNs seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Converts a duration in (possibly fractional) seconds to TimeNs,
+/// rounding to the nearest nanosecond.
+constexpr TimeNs from_seconds(double s) {
+  return static_cast<TimeNs>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_micros(TimeNs t) { return static_cast<double>(t) * 1e-3; }
+constexpr double to_millis(TimeNs t) { return static_cast<double>(t) * 1e-6; }
+
+/// Human-readable rendering with an adaptive unit, e.g. "12.5ms".
+std::string format_time(TimeNs t);
+
+}  // namespace bneck

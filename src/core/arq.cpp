@@ -1,0 +1,121 @@
+#include "core/arq.hpp"
+
+#include <algorithm>
+
+namespace bneck::core {
+
+ArqChannel::ArqChannel(sim::Simulator& sim, sim::FifoChannel& data_channel,
+                       sim::FifoChannel& ack_channel, TimeNs data_tx,
+                       TimeNs data_prop, TimeNs ack_tx, TimeNs ack_prop,
+                       ArqConfig config, Rng rng, DeliverFn deliver,
+                       WireFn on_wire)
+    : sim_(sim),
+      data_channel_(data_channel),
+      ack_channel_(ack_channel),
+      data_tx_(data_tx),
+      data_prop_(data_prop),
+      ack_tx_(ack_tx),
+      ack_prop_(ack_prop),
+      cfg_(config),
+      rng_(rng),
+      deliver_(std::move(deliver)),
+      on_wire_(std::move(on_wire)) {
+  BNECK_EXPECT(cfg_.window >= 1, "ARQ window must be positive");
+  BNECK_EXPECT(cfg_.loss_probability >= 0.0 && cfg_.loss_probability < 1.0,
+               "loss probability must be in [0,1)");
+  if (cfg_.timeout == 0) {
+    // 4x the round trip (data out, ack back) plus a floor so zero-delay
+    // test links still get a sane timer.
+    cfg_.timeout = std::max<TimeNs>(
+        4 * (data_tx_ + data_prop_ + ack_tx_ + ack_prop_), microseconds(10));
+  }
+}
+
+void ArqChannel::send(Packet p) {
+  window_.push_back(InFlight{next_seq_++, p, false});
+  // Transmit immediately if inside the sender window.
+  if (window_.back().seq < send_base_ + static_cast<std::uint64_t>(cfg_.window)) {
+    wire_send_data(window_.back());
+  }
+  arm_timer();
+}
+
+void ArqChannel::wire_send_data(InFlight& entry) {
+  ++data_sends_;
+  if (entry.on_wire) ++retx_;
+  entry.on_wire = true;
+  if (on_wire_) on_wire_(entry.packet);
+  const TimeNs arrival =
+      data_channel_.transmit(sim_.now(), data_tx_, data_prop_);
+  if (rng_.chance(cfg_.loss_probability)) {
+    ++losses_;  // occupied the wire, never arrives
+    return;
+  }
+  const std::uint64_t seq = entry.seq;
+  const Packet packet = entry.packet;
+  sim_.schedule_at(arrival, [this, seq, packet] { on_data(seq, packet); });
+}
+
+void ArqChannel::on_data(std::uint64_t seq, const Packet& p) {
+  if (seq == expected_) {
+    ++expected_;
+    deliver_(p);
+  }
+  // Go-back-N: out-of-order data is dropped; every arrival triggers a
+  // cumulative ack (which also repairs lost acks).
+  send_ack();
+}
+
+void ArqChannel::send_ack() {
+  ++acks_sent_;
+  const TimeNs arrival = ack_channel_.transmit(sim_.now(), ack_tx_, ack_prop_);
+  if (rng_.chance(cfg_.loss_probability)) {
+    ++losses_;
+    return;
+  }
+  const std::uint64_t cumulative = expected_;  // everything below is in
+  sim_.schedule_at(arrival, [this, cumulative] { on_ack(cumulative); });
+}
+
+void ArqChannel::on_ack(std::uint64_t cumulative) {
+  if (cumulative <= send_base_) return;  // stale
+  while (!window_.empty() && window_.front().seq < cumulative) {
+    window_.pop_front();
+  }
+  send_base_ = cumulative;
+  // Window slid forward: transmit newly admitted packets.
+  for (auto& entry : window_) {
+    if (entry.seq >= send_base_ + static_cast<std::uint64_t>(cfg_.window)) break;
+    if (!entry.on_wire) wire_send_data(entry);
+  }
+  if (window_.empty()) {
+    ++timer_generation_;  // logically cancel the timer
+    timer_armed_ = false;
+  } else {
+    ++timer_generation_;
+    timer_armed_ = false;
+    arm_timer();
+  }
+}
+
+void ArqChannel::arm_timer() {
+  if (timer_armed_ || window_.empty()) return;
+  timer_armed_ = true;
+  const std::uint64_t generation = timer_generation_;
+  sim_.schedule_in(cfg_.timeout,
+                   [this, generation] { on_timeout(generation); });
+}
+
+void ArqChannel::on_timeout(std::uint64_t generation) {
+  if (generation != timer_generation_ || window_.empty()) return;
+  // Retransmit everything inside the window.
+  timer_armed_ = false;
+  ++timer_generation_;
+  for (auto& entry : window_) {
+    if (entry.seq >= send_base_ + static_cast<std::uint64_t>(cfg_.window)) break;
+    wire_send_data(entry);
+  }
+  arm_timer();
+}
+
+}  // namespace bneck::core

@@ -1,0 +1,103 @@
+// Reliable in-order link transport (go-back-N ARQ) with loss injection.
+//
+// The B-Neck correctness argument assumes links deliver protocol packets
+// reliably and in FIFO order (DESIGN.md §3).  Real networks drop
+// packets, and a lost Update or Response deadlocks the protocol: nothing
+// retransmits, so the event queue drains with sessions stuck in
+// WAITING_* states.  This module supplies what a deployment would put
+// underneath B-Neck: per-directed-link go-back-N with cumulative
+// acknowledgements, giving exactly-once in-order delivery over lossy
+// links while preserving quiescence (when there is nothing unacked,
+// there are no timers and no traffic).
+//
+// One ArqChannel instance manages one directed link: the sender state of
+// that direction plus the receiver state (expected sequence number) and
+// the acks that flow back over the reverse link.  Loss is injected on
+// the wire in both directions with the configured probability.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "base/rng.hpp"
+#include "core/packet.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace bneck::core {
+
+struct ArqConfig {
+  /// Probability that any wire transmission (data or ack) is lost.
+  double loss_probability = 0.0;
+  /// Go-back-N sender window.
+  std::int32_t window = 32;
+  /// Retransmission timeout; 0 = derive 4x RTT from the link parameters.
+  TimeNs timeout = 0;
+};
+
+class ArqChannel {
+ public:
+  /// Delivery callback: invoked exactly once, in order, per send().
+  using DeliverFn = std::function<void(const Packet&)>;
+  /// Wire callback: invoked for every *data* transmission (first try and
+  /// retransmissions) so the owner can count control traffic.
+  using WireFn = std::function<void(const Packet&)>;
+
+  /// `data_tx`/`data_prop` are the transmission and propagation times of
+  /// the forward link, `ack_tx`/`ack_prop` of the reverse link carrying
+  /// the acknowledgements.
+  ArqChannel(sim::Simulator& sim, sim::FifoChannel& data_channel,
+             sim::FifoChannel& ack_channel, TimeNs data_tx, TimeNs data_prop,
+             TimeNs ack_tx, TimeNs ack_prop, ArqConfig config, Rng rng,
+             DeliverFn deliver, WireFn on_wire);
+
+  ArqChannel(const ArqChannel&) = delete;
+  ArqChannel& operator=(const ArqChannel&) = delete;
+
+  /// Queues a packet for reliable in-order delivery at the far end.
+  void send(Packet p);
+
+  [[nodiscard]] std::uint64_t data_sends() const { return data_sends_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retx_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] std::uint64_t losses() const { return losses_; }
+  [[nodiscard]] bool idle() const { return window_.empty(); }
+
+ private:
+  struct InFlight {
+    std::uint64_t seq;
+    Packet packet;
+    bool on_wire = false;  // sent at least once since the last timeout
+  };
+
+  void wire_send_data(InFlight& entry);
+  void on_data(std::uint64_t seq, const Packet& p);
+  void send_ack();
+  void on_ack(std::uint64_t cumulative);
+  void arm_timer();
+  void on_timeout(std::uint64_t generation);
+
+  sim::Simulator& sim_;
+  sim::FifoChannel& data_channel_;
+  sim::FifoChannel& ack_channel_;
+  TimeNs data_tx_, data_prop_, ack_tx_, ack_prop_;
+  ArqConfig cfg_;
+  Rng rng_;
+  DeliverFn deliver_;
+  WireFn on_wire_;
+
+  std::deque<InFlight> window_;   // unacked + queued, seq order
+  std::uint64_t next_seq_ = 0;    // next sequence number to assign
+  std::uint64_t send_base_ = 0;   // lowest unacked sequence number
+  std::uint64_t expected_ = 0;    // receiver: next in-order sequence
+  std::uint64_t timer_generation_ = 0;
+  bool timer_armed_ = false;
+
+  std::uint64_t data_sends_ = 0;
+  std::uint64_t retx_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t losses_ = 0;
+};
+
+}  // namespace bneck::core

@@ -1,0 +1,303 @@
+#include "core/bneck.hpp"
+
+#include <algorithm>
+
+namespace bneck::core {
+
+BneckProtocol::BneckProtocol(sim::Simulator& simulator,
+                             const net::Network& network, BneckConfig config,
+                             TraceSink* trace)
+    : sim_(simulator),
+      net_(network),
+      cfg_(config),
+      trace_(trace),
+      channels_(static_cast<std::size_t>(network.link_count())),
+      arq_(static_cast<std::size_t>(network.link_count())),
+      loss_rng_(config.loss_seed),
+      links_(static_cast<std::size_t>(network.link_count())) {
+  BNECK_EXPECT(cfg_.packet_bits > 0, "packet size must be positive");
+  BNECK_EXPECT(cfg_.loss_probability >= 0.0 && cfg_.loss_probability < 1.0,
+               "loss probability must be in [0,1)");
+}
+
+BneckProtocol::SessionRt& BneckProtocol::runtime(SessionId s) {
+  const auto it = sessions_.find(s);
+  BNECK_EXPECT(it != sessions_.end(), "unknown session");
+  return it->second;
+}
+
+RouterLink& BneckProtocol::router_link_at(LinkId e) {
+  auto& slot = links_[static_cast<std::size_t>(e.value())];
+  if (!slot) {
+    slot = std::make_unique<RouterLink>(e, net_.link(e).capacity, *this);
+  }
+  return *slot;
+}
+
+const RouterLink* BneckProtocol::router_link(LinkId e) const {
+  BNECK_EXPECT(e.valid() && e.value() < net_.link_count(), "bad link id");
+  return links_[static_cast<std::size_t>(e.value())].get();
+}
+
+void BneckProtocol::on_rate(SessionId s, Rate r) {
+  runtime(s).notified = r;
+  if (trace_ != nullptr) trace_->on_rate_notified(sim_.now(), s, r);
+  if (rate_cb_) rate_cb_(s, r, sim_.now());
+}
+
+void BneckProtocol::join(SessionId s, net::Path path, Rate demand) {
+  BNECK_EXPECT(sessions_.find(s) == sessions_.end(),
+               "session ids are single-use (no re-join)");
+  BNECK_EXPECT(path.links.size() >= 2, "path needs access links at both ends");
+  const net::Link& first = net_.link(path.links.front());
+  const net::Link& last = net_.link(path.links.back());
+  BNECK_EXPECT(net_.is_host(first.src), "path must start at a host");
+  BNECK_EXPECT(net_.is_host(last.dst), "path must end at a host");
+  auto& in_use = sources_in_use_[first.src];
+  BNECK_EXPECT(cfg_.shared_access_links || in_use == 0,
+               "one session per source host (set shared_access_links to "
+               "lift the paper's simplification)");
+  ++in_use;
+
+  auto [it, inserted] = sessions_.try_emplace(s);
+  SessionRt& rt = it->second;
+  rt.path = std::move(path);
+  rt.demand = demand;
+  if (cfg_.shared_access_links) {
+    // Extension: the access link is arbitrated by a RouterLink at the
+    // host; the source starts the probe with its bare request (η
+    // invalid: the initial restriction is the demand, not a link).
+    rt.source = std::make_unique<SourceNode>(
+        s, LinkId{}, kRateInfinity, /*emit_hop=*/-1, *this,
+        [this](SessionId sid, Rate r) { on_rate(sid, r); });
+  } else {
+    // Paper Figure 3: the source manages its dedicated access link and
+    // applies the Ds = min(r, Ce) transform itself.
+    rt.source = std::make_unique<SourceNode>(
+        s, rt.path.links.front(), first.capacity, /*emit_hop=*/0, *this,
+        [this](SessionId sid, Rate r) { on_rate(sid, r); });
+  }
+  ++active_count_;
+  rt.source->api_join(demand);
+}
+
+void BneckProtocol::leave(SessionId s) {
+  SessionRt& rt = runtime(s);
+  BNECK_EXPECT(rt.source != nullptr, "leave of inactive session");
+  rt.source->api_leave();
+  // The task is retired immediately: any packet still in flight for this
+  // session is dropped on delivery.  The path is kept as a tombstone so
+  // those packets can still be routed hop by hop until they drain.
+  rt.source.reset();
+  rt.notified.reset();
+  --active_count_;
+  --sources_in_use_[net_.link(rt.path.links.front()).src];
+}
+
+void BneckProtocol::change(SessionId s, Rate demand) {
+  SessionRt& rt = runtime(s);
+  BNECK_EXPECT(rt.source != nullptr, "change of inactive session");
+  rt.demand = demand;
+  rt.source->api_change(demand);
+}
+
+bool BneckProtocol::is_active(SessionId s) const {
+  const auto it = sessions_.find(s);
+  return it != sessions_.end() && it->second.source != nullptr;
+}
+
+std::optional<Rate> BneckProtocol::notified_rate(SessionId s) const {
+  const auto it = sessions_.find(s);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second.notified;
+}
+
+std::vector<SessionSpec> BneckProtocol::active_specs() const {
+  std::vector<SessionSpec> specs;
+  specs.reserve(active_count_);
+  for (const auto& [s, rt] : sessions_) {
+    if (rt.source == nullptr) continue;
+    specs.push_back(SessionSpec{s, rt.path, rt.demand});
+  }
+  std::sort(specs.begin(), specs.end(),
+            [](const SessionSpec& a, const SessionSpec& b) { return a.id < b.id; });
+  return specs;
+}
+
+bool BneckProtocol::all_tasks_stable() const {
+  for (const auto& link : links_) {
+    if (link && !link->stable()) return false;
+  }
+  for (const auto& [s, rt] : sessions_) {
+    if (rt.source && !rt.source->stable()) return false;
+  }
+  return true;
+}
+
+TimeNs BneckProtocol::tx_time(const net::Link& l) const {
+  if (!cfg_.model_transmission) return 0;
+  // bits / (capacity Mbps * 1e6 bit/s), expressed in nanoseconds.
+  return static_cast<TimeNs>(
+      static_cast<double>(cfg_.packet_bits) * 1000.0 / l.capacity + 0.5);
+}
+
+ArqChannel& BneckProtocol::arq_channel_at(LinkId physical) {
+  auto& slot = arq_[static_cast<std::size_t>(physical.value())];
+  if (!slot) {
+    const net::Link& l = net_.link(physical);
+    const net::Link& rev = net_.link(l.reverse);
+    ArqConfig acfg;
+    acfg.loss_probability = cfg_.loss_probability;
+    slot = std::make_unique<ArqChannel>(
+        sim_, channels_[static_cast<std::size_t>(physical.value())],
+        channels_[static_cast<std::size_t>(l.reverse.value())], tx_time(l),
+        l.prop_delay, tx_time(rev), rev.prop_delay, acfg, loss_rng_.fork(),
+        [this](const Packet& p) { deliver(p); },
+        [this, physical](const Packet& p) {
+          ++packets_sent_;
+          last_packet_time_ = sim_.now();
+          if (trace_ != nullptr) trace_->on_packet_sent(sim_.now(), p, physical);
+        });
+  }
+  return *slot;
+}
+
+std::uint64_t BneckProtocol::retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& ch : arq_) {
+    if (ch) total += ch->retransmissions();
+  }
+  return total;
+}
+
+void BneckProtocol::transmit(Packet p, LinkId physical, std::int32_t to_hop) {
+  p.hop = to_hop;
+  ++packets_by_type_[static_cast<std::size_t>(p.type)];
+  if (cfg_.reliable_links) {
+    arq_channel_at(physical).send(p);
+    return;
+  }
+  const net::Link& l = net_.link(physical);
+  const TimeNs arrival = channels_[static_cast<std::size_t>(physical.value())]
+                             .transmit(sim_.now(), tx_time(l), l.prop_delay);
+  ++packets_sent_;
+  last_packet_time_ = sim_.now();
+  if (trace_ != nullptr) trace_->on_packet_sent(sim_.now(), p, physical);
+  if (cfg_.loss_probability > 0 && loss_rng_.chance(cfg_.loss_probability)) {
+    return;  // the paper's reliability assumption, violated on purpose
+  }
+  sim_.schedule_at(arrival, [this, p] { deliver(p); });
+}
+
+std::uint64_t BneckProtocol::probe_cycles(SessionId s) const {
+  const auto it = sessions_.find(s);
+  return it != sessions_.end() ? it->second.probe_cycles : 0;
+}
+
+void BneckProtocol::send_downstream(Packet p, std::int32_t from_hop) {
+  SessionRt& rt = runtime(p.session);
+  const std::int32_t source_emit = cfg_.shared_access_links ? -1 : 0;
+  if (from_hop == source_emit &&
+      (p.type == PacketType::Join || p.type == PacketType::Probe)) {
+    ++rt.probe_cycles;
+    ++total_probe_cycles_;
+  }
+  BNECK_EXPECT(is_downstream(p.type), "upstream packet sent downstream");
+  BNECK_EXPECT(from_hop >= -1 &&
+                   from_hop < static_cast<std::int32_t>(rt.path.links.size()),
+               "bad downstream hop");
+  if (from_hop == -1) {
+    // Shared-access extension: host-internal handoff from the source
+    // task to the access link's RouterLink — no physical crossing.
+    p.hop = 0;
+    sim_.schedule_in(0, [this, p] { deliver(p); });
+    return;
+  }
+  transmit(p, rt.path.links[static_cast<std::size_t>(from_hop)], from_hop + 1);
+}
+
+void BneckProtocol::send_upstream(Packet p, std::int32_t from_hop) {
+  const SessionRt& rt = runtime(p.session);
+  BNECK_EXPECT(!is_downstream(p.type), "downstream packet sent upstream");
+  BNECK_EXPECT(from_hop >= 0 &&
+                   from_hop <= static_cast<std::int32_t>(rt.path.links.size()),
+               "bad upstream hop");
+  if (from_hop == 0) {
+    // Shared-access extension: the first RouterLink hands the packet to
+    // the co-located source task directly.
+    BNECK_EXPECT(cfg_.shared_access_links, "upstream from hop 0");
+    p.hop = -1;
+    sim_.schedule_in(0, [this, p] { deliver(p); });
+    return;
+  }
+  const std::int32_t to_hop = from_hop - 1;
+  const LinkId physical =
+      net_.link(rt.path.links[static_cast<std::size_t>(to_hop)]).reverse;
+  transmit(p, physical, to_hop);
+}
+
+void BneckProtocol::deliver(const Packet& p) {
+  const SessionRt& rt = runtime(p.session);
+  const auto path_len = static_cast<std::int32_t>(rt.path.links.size());
+
+  // The source task sits at hop -1 in shared-access mode (every path
+  // link has a RouterLink) and at hop 0 in dedicated mode (it manages
+  // the access link itself, Figure 3).
+  const std::int32_t source_hop = cfg_.shared_access_links ? -1 : 0;
+  if (p.hop == source_hop) {
+    // Source node.  Packets for departed sessions are dropped.
+    SourceNode* src = rt.source.get();
+    if (src == nullptr) return;
+    switch (p.type) {
+      case PacketType::Response: src->on_response(p); return;
+      case PacketType::Update: src->on_update(p); return;
+      case PacketType::Bottleneck: src->on_bottleneck(p); return;
+      default: BNECK_EXPECT(false, "downstream packet at source");
+    }
+  }
+
+  if (p.hop == path_len) {
+    // Destination node (paper Figure 4): stateless echo.
+    switch (p.type) {
+      case PacketType::Join:
+      case PacketType::Probe: {
+        Packet r;
+        r.type = PacketType::Response;
+        r.session = p.session;
+        r.tag = ResponseTag::Response;
+        r.lambda = p.lambda;
+        r.eta = p.eta;
+        send_upstream(r, path_len);
+        return;
+      }
+      case PacketType::SetBottleneck:
+        if (!p.beta) {
+          // No link certified a bottleneck: the network changed while the
+          // certification travelled; trigger a fresh probe cycle.
+          Packet u;
+          u.type = PacketType::Update;
+          u.session = p.session;
+          send_upstream(u, path_len);
+        }
+        return;
+      case PacketType::Leave:
+        return;  // path fully cleaned up
+      default:
+        BNECK_EXPECT(false, "upstream packet at destination");
+    }
+  }
+
+  RouterLink& link =
+      router_link_at(rt.path.links[static_cast<std::size_t>(p.hop)]);
+  switch (p.type) {
+    case PacketType::Join: link.on_join(p, p.hop); return;
+    case PacketType::Probe: link.on_probe(p, p.hop); return;
+    case PacketType::Response: link.on_response(p, p.hop); return;
+    case PacketType::Update: link.on_update(p, p.hop); return;
+    case PacketType::Bottleneck: link.on_bottleneck(p, p.hop); return;
+    case PacketType::SetBottleneck: link.on_set_bottleneck(p, p.hop); return;
+    case PacketType::Leave: link.on_leave(p, p.hop); return;
+  }
+}
+
+}  // namespace bneck::core

@@ -1,0 +1,178 @@
+// BneckProtocol: the distributed B-Neck algorithm bound to the simulator.
+//
+// This is the library's main entry point.  It owns one RouterLink task
+// per directed link that carries sessions, one SourceNode per active
+// session, the (stateless) DestinationNode behaviour, and the transport:
+// packets cross FIFO links with transmission + propagation delay and are
+// dispatched to the task at the next hop.
+//
+// Typical use:
+//
+//   sim::Simulator sim;
+//   core::BneckProtocol bneck(sim, network);
+//   bneck.set_rate_callback([](SessionId s, Rate r, TimeNs t) { ... });
+//   bneck.join(SessionId{0}, path, /*demand=*/kRateInfinity);
+//   TimeNs quiescent_at = sim.run_until_idle();   // B-Neck is quiescent!
+//
+// After run_until_idle() returns, every active session has been notified
+// of its max-min fair rate and zero protocol packets remain (Theorem 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/arq.hpp"
+#include "core/packet.hpp"
+#include "core/router_link.hpp"
+#include "core/session.hpp"
+#include "core/source_node.hpp"
+#include "core/trace.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace bneck::core {
+
+struct BneckConfig {
+  /// Control packet size in bits; determines per-hop transmission time
+  /// (the paper models transmission and propagation times, §IV).
+  std::int64_t packet_bits = 512;
+  /// When false, packets only incur propagation delay (useful to study
+  /// the algorithm free of serialization effects).
+  bool model_transmission = true;
+  /// Extension (lifts the paper's "each host can only be the source node
+  /// of one session" simplification, §II): when true, any number of
+  /// sessions may share a source host.  The access link is then
+  /// arbitrated by a regular RouterLink task at the host, and the
+  /// session's maximum-rate request rides as a virtual restriction in
+  /// the Join/Probe packets (η starts invalid instead of naming the
+  /// access link).  When false (default, paper-faithful), the SourceNode
+  /// manages its dedicated access link exactly as in Figure 3 and a
+  /// second session on the same source host is rejected.
+  bool shared_access_links = false;
+
+  /// Fault injection: probability that a wire transmission is lost.
+  /// Without reliable_links, a lost packet deadlocks the affected
+  /// sessions (the paper assumes reliable links); combine with
+  /// reliable_links to run B-Neck over lossy networks.
+  double loss_probability = 0.0;
+  /// Runs every link through a go-back-N ARQ layer (core/arq.hpp):
+  /// exactly-once in-order delivery over lossy links, still quiescent
+  /// (no unacked data -> no timers, no traffic).
+  bool reliable_links = false;
+  /// Seed for the loss process (deterministic fault injection).
+  std::uint64_t loss_seed = 0x10552024;
+};
+
+class BneckProtocol final : public Transport {
+ public:
+  BneckProtocol(sim::Simulator& simulator, const net::Network& network,
+                BneckConfig config = {}, TraceSink* trace = nullptr);
+
+  // ---- API primitives (paper §II) ----
+
+  /// API.Join(s, r): s must be new; the path must start at a host uplink.
+  void join(SessionId s, net::Path path, Rate demand = kRateInfinity);
+  /// API.Leave(s): s must be active.
+  void leave(SessionId s);
+  /// API.Change(s, r): s must be active.
+  void change(SessionId s, Rate demand);
+
+  /// API.Rate(s, λ) is delivered through this callback.
+  using RateCallback = std::function<void(SessionId, Rate, TimeNs)>;
+  void set_rate_callback(RateCallback cb) { rate_cb_ = std::move(cb); }
+
+  // ---- introspection ----
+
+  [[nodiscard]] bool is_active(SessionId s) const;
+  [[nodiscard]] std::size_t active_sessions() const { return active_count_; }
+
+  /// Last rate notified via API.Rate; nullopt before the first
+  /// notification (or after leave).
+  [[nodiscard]] std::optional<Rate> notified_rate(SessionId s) const;
+
+  /// Active sessions as solver input (for validation against the
+  /// centralized solvers), in ascending session id order.
+  [[nodiscard]] std::vector<SessionSpec> active_specs() const;
+
+  /// The RouterLink task of a directed link; nullptr if the link never
+  /// carried a session.
+  [[nodiscard]] const RouterLink* router_link(LinkId e) const;
+
+  /// Paper Definition 2, state part: every router link and source is
+  /// stable.  Combined with the simulator being idle this is full
+  /// network stability.
+  [[nodiscard]] bool all_tasks_stable() const;
+
+  /// Total protocol packets handed to links (each hop counted once;
+  /// includes ARQ retransmissions when reliable_links is on).
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+
+  /// Timestamp of the last wire transmission (the quiescence instant
+  /// when ARQ timers pad the event queue).
+  [[nodiscard]] TimeNs last_packet_time() const { return last_packet_time_; }
+
+  /// ARQ retransmissions performed (0 unless reliable_links and loss).
+  [[nodiscard]] std::uint64_t retransmissions() const;
+
+  /// Wire transmissions by packet type (indexed by core::PacketType).
+  [[nodiscard]] const std::array<std::uint64_t, kPacketTypeCount>&
+  packets_by_type() const {
+    return packets_by_type_;
+  }
+
+  /// Probe cycles started by a session (its Join plus every re-probe);
+  /// the paper's per-session control-cost metric.  0 for unknown ids.
+  [[nodiscard]] std::uint64_t probe_cycles(SessionId s) const;
+
+  /// Total probe cycles across all sessions, including departed ones.
+  [[nodiscard]] std::uint64_t total_probe_cycles() const {
+    return total_probe_cycles_;
+  }
+
+  // ---- Transport (used by the tasks; not part of the public API) ----
+  void send_downstream(Packet p, std::int32_t from_hop) override;
+  void send_upstream(Packet p, std::int32_t from_hop) override;
+
+ private:
+  struct SessionRt {
+    net::Path path;
+    Rate demand = kRateInfinity;         // requested maximum rate r_s
+    std::unique_ptr<SourceNode> source;  // null once the session left
+    std::optional<Rate> notified;
+    std::uint64_t probe_cycles = 0;      // Join + re-probes emitted
+  };
+
+  SessionRt& runtime(SessionId s);
+  RouterLink& router_link_at(LinkId e);
+  ArqChannel& arq_channel_at(LinkId physical);
+  void transmit(Packet p, LinkId physical, std::int32_t to_hop);
+  void deliver(const Packet& p);
+  void on_rate(SessionId s, Rate r);
+  [[nodiscard]] TimeNs tx_time(const net::Link& l) const;
+
+  sim::Simulator& sim_;
+  const net::Network& net_;
+  BneckConfig cfg_;
+  TraceSink* trace_;
+  RateCallback rate_cb_;
+
+  std::vector<sim::FifoChannel> channels_;           // per directed link
+  std::vector<std::unique_ptr<ArqChannel>> arq_;     // per directed link, lazy
+  Rng loss_rng_;
+  std::vector<std::unique_ptr<RouterLink>> links_;   // per directed link, lazy
+  std::unordered_map<SessionId, SessionRt> sessions_;  // incl. tombstones
+  // Active sessions per source host; enforces the paper's one-session-
+  // per-host model unless shared_access_links is set.
+  std::unordered_map<NodeId, std::int32_t> sources_in_use_;
+  std::size_t active_count_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  TimeNs last_packet_time_ = 0;
+  std::array<std::uint64_t, kPacketTypeCount> packets_by_type_{};
+  std::uint64_t total_probe_cycles_ = 0;
+};
+
+}  // namespace bneck::core

@@ -1,0 +1,144 @@
+// Per-link session table of the RouterLink task.
+//
+// Holds, for every session crossing the link, the paper's per-session
+// state: the partition flag (restricted here, Re, vs restricted
+// elsewhere, Fe), the state machine value
+// µ ∈ {IDLE, WAITING_PROBE, WAITING_RESPONSE} and the recorded rate λes.
+//
+// The pseudocode's predicates are set-level quantifications; this table
+// maintains two ordered indexes — (λ, s) over *idle Re* sessions and over
+// *Fe* sessions — plus running aggregates (Σ_{Fe} λ, |Re|), so each
+// predicate is answered in O(log n):
+//   Be              = (Ce − Σ_{Fe} λ) / |Re|        (+inf when Re = ∅)
+//   all_R_idle_at_be: ∀r∈Re, λ = Be ∧ µ = IDLE      (bottleneck detection)
+//   exists F λ ≥ Be, max/argmax over Fe             (ProcessNewRestricted)
+//   {r∈Re : IDLE ∧ λ > x} / {r∈Re : IDLE ∧ λ ≈ x}   (Update triggers)
+//
+// λes is only meaningful while s ∈ Fe, or s ∈ Re with µ = IDLE — exactly
+// the states in which the indexes track it.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/expect.hpp"
+#include "base/ids.hpp"
+#include "base/rate.hpp"
+
+namespace bneck::core {
+
+enum class Mu : std::uint8_t { Idle, WaitingProbe, WaitingResponse };
+
+constexpr const char* mu_name(Mu m) {
+  switch (m) {
+    case Mu::Idle: return "IDLE";
+    case Mu::WaitingProbe: return "WAITING_PROBE";
+    case Mu::WaitingResponse: return "WAITING_RESPONSE";
+  }
+  return "?";
+}
+
+class LinkSessionTable {
+ public:
+  explicit LinkSessionTable(Rate capacity);
+
+  [[nodiscard]] Rate capacity() const { return capacity_; }
+  [[nodiscard]] bool contains(SessionId s) const { return recs_.count(s) > 0; }
+  [[nodiscard]] bool in_R(SessionId s) const { return rec(s).in_r; }
+  [[nodiscard]] Mu mu(SessionId s) const { return rec(s).mu; }
+  [[nodiscard]] Rate lambda(SessionId s) const { return rec(s).lambda; }
+  /// Hop index of this link in the session's path (recorded on insert so
+  /// the link can originate upstream packets for the session).
+  [[nodiscard]] std::int32_t hop(SessionId s) const { return rec(s).hop; }
+
+  [[nodiscard]] std::size_t size() const { return recs_.size(); }
+  [[nodiscard]] std::size_t r_size() const { return r_count_; }
+  [[nodiscard]] std::size_t f_size() const { return f_.size(); }
+
+  /// Bottleneck rate estimate Be = (Ce − Σ_{Fe} λ)/|Re|; +inf when Re=∅.
+  /// May transiently be negative inside ProcessNewRestricted loops.
+  [[nodiscard]] Rate be() const;
+
+  // ---- mutations (all keep the indexes consistent) ----
+
+  /// Join: Re ← Re ∪ {s} with µ = WAITING_RESPONSE.
+  void insert_R(SessionId s, std::int32_t hop);
+
+  /// Leave: removes s from whichever set holds it.
+  void erase(SessionId s);
+
+  /// Fe → Re, preserving µ and λ.  No-op precondition: s ∈ Fe.
+  void move_to_R(SessionId s);
+
+  /// Re → Fe, preserving µ and λ.  Requires s ∈ Re.
+  void move_to_F(SessionId s);
+
+  void set_mu(SessionId s, Mu m);
+
+  /// Response accepted: λes ← λ and µ ← IDLE in one step.
+  void set_idle_with_lambda(SessionId s, Rate lambda);
+
+  // ---- protocol predicates ----
+
+  /// ∀r ∈ Re : µ = IDLE ∧ λ = Be, with Re ≠ ∅ (bottleneck condition).
+  [[nodiscard]] bool all_R_idle_at_be() const;
+
+  /// ∃s ∈ Fe : λ ≥ Be (drives the ProcessNewRestricted loop).
+  [[nodiscard]] bool exists_F_ge_be() const;
+
+  /// max λ over Fe.  Requires Fe ≠ ∅.
+  [[nodiscard]] Rate max_F_lambda() const;
+
+  /// {s ∈ Fe : λ ≈ value}.
+  [[nodiscard]] std::vector<SessionId> F_at(Rate value) const;
+
+  /// {s ∈ Re : µ = IDLE ∧ λ > threshold} (strictly, beyond tolerance).
+  [[nodiscard]] std::vector<SessionId> idle_R_above(Rate threshold) const;
+
+  /// {s ∈ Re \ {exclude} : µ = IDLE ∧ λ ≈ value}.
+  [[nodiscard]] std::vector<SessionId> idle_R_at(
+      Rate value, SessionId exclude = SessionId{}) const;
+
+  /// All sessions of Re except `exclude`.  Intended for the bottleneck
+  /// broadcast, where all of Re is idle; returns them in rate order.
+  [[nodiscard]] std::vector<SessionId> idle_R_all(
+      SessionId exclude = SessionId{}) const;
+
+  /// Link stability (paper Definition 2, per-link part): every session
+  /// idle; every Re rate equals Be; if Re ≠ ∅, every Fe rate < Be.
+  [[nodiscard]] bool stable() const;
+
+  /// Iterates (session, in_r, mu, lambda) for diagnostics/tests.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [s, r] : recs_) fn(s, r.in_r, r.mu, r.lambda);
+  }
+
+ private:
+  struct Rec {
+    Mu mu = Mu::WaitingResponse;
+    Rate lambda = 0;
+    bool in_r = true;
+    std::int32_t hop = 0;
+  };
+  using Index = std::multiset<std::pair<Rate, SessionId>>;
+
+  const Rec& rec(SessionId s) const;
+  Rec& rec(SessionId s);
+  void index_remove(Index& idx, Rate lambda, SessionId s);
+  // Adds/removes s from idle_r_ according to its current state.
+  void sync_idle_index(SessionId s, const Rec& r, bool present);
+
+  Rate capacity_;
+  std::unordered_map<SessionId, Rec> recs_;
+  Index idle_r_;  // (λ, s) for s ∈ Re with µ = IDLE
+  Index f_;       // (λ, s) for s ∈ Fe
+  std::size_t r_count_ = 0;
+  long double f_sum_ = 0;  // Σ_{Fe} λ; recomputed periodically to kill drift
+  std::uint64_t f_mutations_ = 0;
+};
+
+}  // namespace bneck::core

@@ -1,0 +1,298 @@
+#include "core/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string>
+
+#include "base/expect.hpp"
+
+namespace bneck::core {
+
+namespace {
+
+// Both solvers run on "computational links": every real link crossed by a
+// session, plus one virtual single-session link per finite demand (the
+// paper's Ds = min(Ce, rs) transformation generalized to any session mix).
+struct CompLink {
+  Rate capacity = 0;
+  std::vector<std::int32_t> sessions;  // indices into the session span
+};
+
+struct CompGraph {
+  std::vector<CompLink> links;
+  std::vector<std::vector<std::int32_t>> session_links;  // session -> comp links
+};
+
+CompGraph build_comp_graph(const net::Network& net,
+                           std::span<const SessionSpec> sessions) {
+  CompGraph g;
+  g.session_links.resize(sessions.size());
+  std::unordered_map<LinkId, std::int32_t> index;
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    const auto s = static_cast<std::int32_t>(si);
+    BNECK_EXPECT(!sessions[si].path.links.empty(), "session with empty path");
+    for (const LinkId e : sessions[si].path.links) {
+      auto [it, inserted] =
+          index.try_emplace(e, static_cast<std::int32_t>(g.links.size()));
+      if (inserted) {
+        g.links.push_back(CompLink{net.link(e).capacity, {}});
+      }
+      g.links[static_cast<std::size_t>(it->second)].sessions.push_back(s);
+      g.session_links[si].push_back(it->second);
+    }
+    BNECK_EXPECT(sessions[si].weight > 0, "non-positive weight");
+    if (!std::isinf(sessions[si].demand)) {
+      BNECK_EXPECT(sessions[si].demand > 0, "non-positive demand");
+      const auto vl = static_cast<std::int32_t>(g.links.size());
+      g.links.push_back(CompLink{sessions[si].demand, {s}});
+      g.session_links[si].push_back(vl);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+MaxMinSolution solve_reference(const net::Network& net,
+                               std::span<const SessionSpec> sessions) {
+  MaxMinSolution out;
+  out.rates.assign(sessions.size(), 0.0);
+  if (sessions.empty()) return out;
+
+  CompGraph g = build_comp_graph(net, sessions);
+  const std::size_t nl = g.links.size();
+
+  // Per-link mutable state: the active set Re (as a vector we compact in
+  // place), its weight sum, and the frozen-rate sum over Fe.  With unit
+  // weights the "fill level" b is the bottleneck rate Be of Figure 1;
+  // with weights, session s receives weight_s * b.
+  std::vector<std::vector<std::int32_t>> re(nl);
+  std::vector<Rate> fsum(nl, 0.0);
+  std::vector<double> wsum(nl, 0.0);
+  std::vector<std::size_t> live;  // L: links with Re nonempty
+  for (std::size_t e = 0; e < nl; ++e) {
+    re[e] = g.links[e].sessions;
+    for (const std::int32_t s : re[e]) {
+      wsum[e] += sessions[static_cast<std::size_t>(s)].weight;
+    }
+    if (!re[e].empty()) live.push_back(e);
+  }
+
+  std::vector<char> in_x(sessions.size(), 0);
+  std::size_t remaining = sessions.size();
+
+  while (!live.empty()) {
+    BNECK_EXPECT(remaining > 0, "live links but all sessions assigned");
+    // b <- min fill level over live links.
+    Rate b = kRateInfinity;
+    for (const std::size_t e : live) {
+      const Rate be = (g.links[e].capacity - fsum[e]) / wsum[e];
+      b = std::min(b, be);
+    }
+    // L' and X.
+    std::vector<std::int32_t> x;
+    std::vector<char> is_min(nl, 0);
+    for (const std::size_t e : live) {
+      const Rate be = (g.links[e].capacity - fsum[e]) / wsum[e];
+      if (!rate_eq(be, b)) continue;
+      is_min[e] = 1;
+      for (const std::int32_t s : re[e]) {
+        if (!in_x[static_cast<std::size_t>(s)]) {
+          in_x[static_cast<std::size_t>(s)] = 1;
+          x.push_back(s);
+        }
+      }
+    }
+    BNECK_EXPECT(!x.empty(), "bottleneck with no sessions");
+    for (const std::int32_t s : x) {
+      out.rates[static_cast<std::size_t>(s)] =
+          b * sessions[static_cast<std::size_t>(s)].weight;
+      --remaining;
+    }
+    // Move X to Fe on surviving links; drop exhausted/min links from L.
+    std::vector<std::size_t> next_live;
+    for (const std::size_t e : live) {
+      if (is_min[e]) continue;
+      auto& r = re[e];
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        if (in_x[static_cast<std::size_t>(r[i])]) {
+          const double sw = sessions[static_cast<std::size_t>(r[i])].weight;
+          fsum[e] += b * sw;
+          wsum[e] -= sw;
+        } else {
+          r[w++] = r[i];
+        }
+      }
+      r.resize(w);
+      if (!r.empty()) next_live.push_back(e);
+    }
+    for (const std::int32_t s : x) in_x[static_cast<std::size_t>(s)] = 0;
+    live = std::move(next_live);
+  }
+  BNECK_EXPECT(remaining == 0, "sessions left unassigned");
+
+  out.links = annotate_links(net, sessions, out.rates);
+  return out;
+}
+
+MaxMinSolution solve_waterfill(const net::Network& net,
+                               std::span<const SessionSpec> sessions) {
+  MaxMinSolution out;
+  out.rates.assign(sessions.size(), 0.0);
+  if (sessions.empty()) return out;
+
+  CompGraph g = build_comp_graph(net, sessions);
+  const std::size_t nl = g.links.size();
+
+  std::vector<Rate> cap(nl);        // residual capacity (Ce - sum of frozen)
+  std::vector<std::int32_t> n(nl);  // active session count
+  std::vector<double> wsum(nl, 0);  // active weight sum
+  std::vector<std::uint32_t> version(nl, 0);
+  for (std::size_t e = 0; e < nl; ++e) {
+    cap[e] = g.links[e].capacity;
+    n[e] = static_cast<std::int32_t>(g.links[e].sessions.size());
+    for (const std::int32_t s : g.links[e].sessions) {
+      wsum[e] += sessions[static_cast<std::size_t>(s)].weight;
+    }
+  }
+
+  struct Entry {
+    Rate be;  // fill level at which the link saturates
+    std::size_t link;
+    std::uint32_t version;
+  };
+  const auto later = [](const Entry& a, const Entry& b) {
+    return a.be != b.be ? a.be > b.be : a.link > b.link;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(later)> pq(later);
+  for (std::size_t e = 0; e < nl; ++e) {
+    if (n[e] > 0) pq.push({cap[e] / wsum[e], e, 0});
+  }
+
+  std::vector<char> frozen(sessions.size(), 0);
+  while (!pq.empty()) {
+    const Entry top = pq.top();
+    pq.pop();
+    const std::size_t e = top.link;
+    if (top.version != version[e] || n[e] == 0) continue;  // stale
+    const Rate b = cap[e] / wsum[e];
+    // Freeze every still-active session of this link at level b (rate
+    // b * weight), and relax the other links they cross (fill levels
+    // only rise, so the lazy priority queue stays consistent).
+    for (const std::int32_t s : g.links[e].sessions) {
+      const auto si = static_cast<std::size_t>(s);
+      if (frozen[si]) continue;
+      frozen[si] = 1;
+      const double sw = sessions[si].weight;
+      out.rates[si] = b * sw;
+      for (const std::int32_t other : g.session_links[si]) {
+        const auto oe = static_cast<std::size_t>(other);
+        if (oe == e) continue;
+        cap[oe] -= b * sw;
+        --n[oe];
+        wsum[oe] -= sw;
+        ++version[oe];
+        if (n[oe] > 0) pq.push({cap[oe] / wsum[oe], oe, version[oe]});
+      }
+    }
+    n[e] = 0;
+    ++version[e];
+  }
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    BNECK_EXPECT(frozen[si], "session left unfrozen");
+  }
+
+  out.links = annotate_links(net, sessions, out.rates);
+  return out;
+}
+
+std::unordered_map<LinkId, LinkInfo> annotate_links(
+    const net::Network& net, std::span<const SessionSpec> sessions,
+    std::span<const Rate> rates) {
+  BNECK_EXPECT(sessions.size() == rates.size(), "rate vector size mismatch");
+  std::unordered_map<LinkId, LinkInfo> out;
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    for (const LinkId e : sessions[si].path.links) {
+      LinkInfo& info = out.try_emplace(e).first->second;
+      info.capacity = net.link(e).capacity;
+      info.assigned += rates[si];
+      info.bottleneck_rate = std::max(info.bottleneck_rate, rates[si]);
+      ++info.sessions;
+    }
+  }
+  for (auto& [e, info] : out) {
+    info.saturated = rate_ge(info.assigned, info.capacity, 1e-6);
+  }
+  // Restriction is judged on the weight-normalized level λ/w, so the
+  // annotation stays correct for the weighted extension (with unit
+  // weights this is the paper's λ = B*e condition).
+  std::unordered_map<LinkId, double> max_level;
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    for (const LinkId e : sessions[si].path.links) {
+      auto& lvl = max_level[e];
+      lvl = std::max(lvl, rates[si] / sessions[si].weight);
+    }
+  }
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    for (const LinkId e : sessions[si].path.links) {
+      LinkInfo& info = out.at(e);
+      if (info.saturated &&
+          rate_eq(rates[si] / sessions[si].weight, max_level.at(e), 1e-6)) {
+        ++info.restricted;
+      }
+    }
+  }
+  return out;
+}
+
+std::string check_maxmin_invariants(const net::Network& net,
+                                    std::span<const SessionSpec> sessions,
+                                    std::span<const Rate> rates) {
+  const auto links = annotate_links(net, sessions, rates);
+  std::unordered_map<LinkId, double> max_levels;
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    for (const LinkId e : sessions[si].path.links) {
+      auto& lvl = max_levels[e];
+      lvl = std::max(lvl, rates[si] / sessions[si].weight);
+    }
+  }
+  for (const auto& [e, info] : links) {
+    if (rate_gt(info.assigned, info.capacity, 1e-6)) {
+      return "link " + std::to_string(e.value()) + " overloaded: " +
+             format_rate(info.assigned) + " > " + format_rate(info.capacity);
+    }
+  }
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    const auto& s = sessions[si];
+    if (rates[si] <= 0) {
+      return "session " + std::to_string(s.id.value()) + " has rate " +
+             format_rate(rates[si]);
+    }
+    if (rate_gt(rates[si], s.demand, 1e-6)) {
+      return "session " + std::to_string(s.id.value()) +
+             " exceeds its demand";
+    }
+    if (rate_eq(rates[si], s.demand, 1e-6)) continue;  // restricted by demand
+    bool has_bottleneck = false;
+    for (const LinkId e : s.path.links) {
+      const LinkInfo& info = links.at(e);
+      // Restricted at e: e is saturated and s is among its restricted
+      // sessions (maximal weight-normalized level); with unit weights
+      // this is the paper's Definition 1.
+      if (!info.saturated) continue;
+      if (rate_ge(rates[si] / s.weight, max_levels.at(e), 1e-6)) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    if (!has_bottleneck) {
+      return "session " + std::to_string(s.id.value()) +
+             " has no bottleneck and is below its demand";
+    }
+  }
+  return "";
+}
+
+}  // namespace bneck::core

@@ -1,0 +1,75 @@
+// Centralized max-min fair solvers.
+//
+// Two independent implementations of the max-min fair allocation:
+//
+//  * solve_reference — a literal transcription of the paper's Figure 1
+//    ("Centralized B-Neck"), iterating global bottleneck discovery in
+//    increasing rate order.  O(iterations x (links + path lengths)).
+//
+//  * solve_waterfill — priority-queue water-filling exploiting that link
+//    fill levels only rise as sessions freeze; O((S·hops + E) log E).
+//
+// Both support per-session maximum-rate requests by modelling each finite
+// demand as a virtual single-session link (exactly the paper's
+// Ds = min(Ce, rs) transformation, §II).  They are cross-validated in the
+// test suite and the distributed protocol is validated against them.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.hpp"
+#include "net/network.hpp"
+
+namespace bneck::core {
+
+/// Post-hoc per-link annotation of a max-min solution.
+struct LinkInfo {
+  Rate capacity = 0;
+  Rate assigned = 0;        // sum of rates of sessions crossing the link
+  Rate bottleneck_rate = 0; // max session rate on the link (B*e when saturated)
+  std::int32_t sessions = 0;
+  std::int32_t restricted = 0;  // |R*e|: sessions for which this link is a bottleneck
+  bool saturated = false;       // assigned ≈ capacity
+};
+
+struct MaxMinSolution {
+  /// Rates parallel to the input session span.
+  std::vector<Rate> rates;
+
+  /// Info for every link crossed by at least one session.
+  std::unordered_map<LinkId, LinkInfo> links;
+
+  [[nodiscard]] Rate rate_of(std::size_t session_index) const {
+    return rates[session_index];
+  }
+};
+
+/// Literal Figure-1 algorithm.
+MaxMinSolution solve_reference(const net::Network& net,
+                               std::span<const SessionSpec> sessions);
+
+/// Fast water-filling.
+MaxMinSolution solve_waterfill(const net::Network& net,
+                               std::span<const SessionSpec> sessions);
+
+/// Recomputes LinkInfo from an arbitrary rate vector (used by both
+/// solvers and by validation of the distributed protocol).  Saturation
+/// and restriction use tolerant rate comparison.
+std::unordered_map<LinkId, LinkInfo> annotate_links(
+    const net::Network& net, std::span<const SessionSpec> sessions,
+    std::span<const Rate> rates);
+
+/// Validates the max-min invariants of a rate vector:
+///  (1) feasibility: every link's assigned sum <= capacity (+eps),
+///  (2) demand ceiling: rate_s <= demand_s,
+///  (3) every session is restricted: it either hits its demand or has a
+///      saturated link on its path where its rate is maximal.
+/// Returns an empty string when valid, else a description of the first
+/// violation.
+std::string check_maxmin_invariants(const net::Network& net,
+                                    std::span<const SessionSpec> sessions,
+                                    std::span<const Rate> rates);
+
+}  // namespace bneck::core

@@ -1,0 +1,71 @@
+// B-Neck protocol packets (paper §III-B).
+//
+//   Join(s, λ, η)           downstream   session arrival + first probe
+//   Probe(s, λ, η)          downstream   rate recomputation cycle
+//   Response(s, τ, λ, η)    upstream     closes a probe cycle
+//   Update(s)               upstream     a new probe cycle is required
+//   Bottleneck(s)           upstream     current rate is the max-min rate
+//   SetBottleneck(s, β)     downstream   freeze the rate along the path
+//   Leave(s)                downstream   session departure
+//
+// λ is the estimated bottleneck rate, η the link imposing the strongest
+// restriction so far, τ the action the source must take next, and β
+// whether some link on the path confirmed itself as the bottleneck.
+//
+// Packets additionally carry `hop`, the index into the session's path of
+// the link whose task processes the packet next (0 = source node,
+// path-length = destination node); see DESIGN.md §3 "Packet routing".
+#pragma once
+
+#include <cstdint>
+
+#include "base/ids.hpp"
+#include "base/rate.hpp"
+
+namespace bneck::core {
+
+enum class PacketType : std::uint8_t {
+  Join,
+  Probe,
+  Response,
+  Update,
+  Bottleneck,
+  SetBottleneck,
+  Leave,
+};
+
+constexpr int kPacketTypeCount = 7;
+
+/// τ of a Response packet.
+enum class ResponseTag : std::uint8_t { Response, Update, Bottleneck };
+
+struct Packet {
+  PacketType type = PacketType::Join;
+  SessionId session;
+  ResponseTag tag = ResponseTag::Response;  // Response only
+  Rate lambda = 0;                          // Join / Probe / Response
+  LinkId eta;                               // Join / Probe / Response
+  bool beta = false;                        // SetBottleneck only
+  std::int32_t hop = 0;                     // next processing hop
+};
+
+/// True for packet types that travel from source towards destination.
+constexpr bool is_downstream(PacketType t) {
+  return t == PacketType::Join || t == PacketType::Probe ||
+         t == PacketType::SetBottleneck || t == PacketType::Leave;
+}
+
+constexpr const char* packet_type_name(PacketType t) {
+  switch (t) {
+    case PacketType::Join: return "Join";
+    case PacketType::Probe: return "Probe";
+    case PacketType::Response: return "Response";
+    case PacketType::Update: return "Update";
+    case PacketType::Bottleneck: return "Bottleneck";
+    case PacketType::SetBottleneck: return "SetBottleneck";
+    case PacketType::Leave: return "Leave";
+  }
+  return "?";
+}
+
+}  // namespace bneck::core

@@ -1,0 +1,139 @@
+#include "core/router_link.hpp"
+
+namespace bneck::core {
+
+void RouterLink::kick(SessionId s) {
+  table_.set_mu(s, Mu::WaitingProbe);
+  Packet u;
+  u.type = PacketType::Update;
+  u.session = s;
+  transport_.send_upstream(u, table_.hop(s));
+}
+
+void RouterLink::process_new_restricted() {
+  // while ∃s ∈ Fe : λes ≥ Be — move the maximal-rate Fe sessions to Re.
+  while (table_.f_size() > 0 && table_.exists_F_ge_be()) {
+    const Rate max_lambda = table_.max_F_lambda();
+    for (const SessionId r : table_.F_at(max_lambda)) {
+      table_.move_to_R(r);
+    }
+  }
+  // foreach s ∈ Re : µ = IDLE ∧ λes > Be — their rate must shrink.
+  for (const SessionId s : table_.idle_R_above(table_.be())) {
+    kick(s);
+  }
+}
+
+void RouterLink::on_join(const Packet& p, std::int32_t hop) {
+  table_.insert_R(p.session, hop);
+  process_new_restricted();
+  Packet q = p;
+  const Rate be = table_.be();
+  if (rate_gt(q.lambda, be)) {
+    q.lambda = be;
+    q.eta = id_;
+  }
+  transport_.send_downstream(q, hop);
+}
+
+void RouterLink::on_probe(const Packet& p, std::int32_t hop) {
+  // A Probe can only follow the session's Join on the same FIFO path, so
+  // the session is known here.
+  table_.set_mu(p.session, Mu::WaitingResponse);
+  if (!table_.in_R(p.session)) {
+    table_.move_to_R(p.session);
+    process_new_restricted();
+  }
+  Packet q = p;
+  const Rate be = table_.be();
+  if (rate_gt(q.lambda, be)) {
+    q.lambda = be;
+    q.eta = id_;
+  }
+  transport_.send_downstream(q, hop);
+}
+
+void RouterLink::on_response(const Packet& p, std::int32_t hop) {
+  if (!table_.contains(p.session)) return;  // session left; Leave overtook us
+  Packet q = p;
+  if (q.tag == ResponseTag::Update) {
+    table_.set_mu(q.session, Mu::WaitingProbe);
+  } else {
+    const Rate be = table_.be();
+    const bool restricting_here = q.eta == id_;
+    if ((restricting_here && rate_eq(q.lambda, be)) ||
+        (!restricting_here && rate_le(q.lambda, be))) {
+      table_.set_idle_with_lambda(q.session, q.lambda);
+    } else {
+      // (η = e ∧ λ < Be) ∨ (λ > Be): the link's conditions moved while
+      // the probe was in flight; the cycle's result is stale.
+      q.tag = ResponseTag::Update;
+      table_.set_mu(q.session, Mu::WaitingProbe);
+    }
+    if (table_.all_R_idle_at_be()) {
+      q.tag = ResponseTag::Bottleneck;
+      q.eta = id_;
+      for (const SessionId r : table_.idle_R_all(q.session)) {
+        Packet b;
+        b.type = PacketType::Bottleneck;
+        b.session = r;
+        transport_.send_upstream(b, table_.hop(r));
+      }
+    }
+  }
+  transport_.send_upstream(q, hop);
+}
+
+void RouterLink::on_update(const Packet& p, std::int32_t hop) {
+  if (!table_.contains(p.session)) return;
+  if (table_.mu(p.session) == Mu::Idle) {
+    table_.set_mu(p.session, Mu::WaitingProbe);
+    transport_.send_upstream(p, hop);
+  }
+}
+
+void RouterLink::on_bottleneck(const Packet& p, std::int32_t hop) {
+  if (!table_.contains(p.session)) return;
+  if (table_.mu(p.session) == Mu::Idle && table_.in_R(p.session)) {
+    transport_.send_upstream(p, hop);
+  }
+}
+
+void RouterLink::on_set_bottleneck(const Packet& p, std::int32_t hop) {
+  if (!table_.contains(p.session)) return;
+  const Rate be = table_.be();
+  if (table_.all_R_idle_at_be()) {
+    // This link is itself a (stable) bottleneck: certify the path.
+    Packet q = p;
+    q.beta = true;
+    transport_.send_downstream(q, hop);
+  } else if (table_.mu(p.session) == Mu::Idle &&
+             rate_lt(table_.lambda(p.session), be)) {
+    // The session is restricted elsewhere: move it to Fe.  Idle sessions
+    // pinned at the current Be gain headroom from the move, so re-probe
+    // them (computed before the move, as in the pseudocode).
+    for (const SessionId r : table_.idle_R_at(be, p.session)) {
+      kick(r);
+    }
+    table_.move_to_F(p.session);
+    transport_.send_downstream(p, hop);
+  } else if (table_.mu(p.session) == Mu::Idle &&
+             rate_eq(table_.lambda(p.session), be)) {
+    transport_.send_downstream(p, hop);
+  }
+  // Otherwise the packet is absorbed: the session is already marked for a
+  // new probe cycle, which will re-establish its rate.
+}
+
+void RouterLink::on_leave(const Packet& p, std::int32_t hop) {
+  // R' is computed against Be *before* the departure; the departure can
+  // only raise Be, so these sessions may deserve more bandwidth.
+  const std::vector<SessionId> pinned = table_.idle_R_at(table_.be(), p.session);
+  table_.erase(p.session);
+  for (const SessionId r : pinned) {
+    kick(r);
+  }
+  transport_.send_downstream(p, hop);
+}
+
+}  // namespace bneck::core

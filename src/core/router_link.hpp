@@ -1,0 +1,64 @@
+// RouterLink task (paper Figure 2).
+//
+// One instance runs per directed link that carries at least one session,
+// at the link's tail router.  It reacts to the seven protocol packets,
+// maintains the per-link session table, detects the bottleneck condition
+// (all Re sessions idle at rate Be) and originates Update/Bottleneck
+// packets when convergence conditions change.
+//
+// The task is transport-agnostic: it emits packets through the Transport
+// interface, which the protocol binding (bneck.hpp) implements on top of
+// the discrete-event simulator.
+#pragma once
+
+#include "core/link_table.hpp"
+#include "core/packet.hpp"
+
+namespace bneck::core {
+
+/// How tasks hand packets to the network.  `from_hop` is the hop index of
+/// the emitting task in the packet's session path; the transport computes
+/// the physical link, its delay, and the receiving task.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send_downstream(Packet p, std::int32_t from_hop) = 0;
+  virtual void send_upstream(Packet p, std::int32_t from_hop) = 0;
+};
+
+class RouterLink {
+ public:
+  RouterLink(LinkId id, Rate capacity, Transport& transport)
+      : id_(id), table_(capacity), transport_(transport) {}
+
+  RouterLink(const RouterLink&) = delete;
+  RouterLink& operator=(const RouterLink&) = delete;
+
+  [[nodiscard]] LinkId id() const { return id_; }
+  [[nodiscard]] const LinkSessionTable& table() const { return table_; }
+  [[nodiscard]] bool stable() const { return table_.stable(); }
+
+  // Packet handlers; `hop` is this link's hop index in p.session's path.
+  void on_join(const Packet& p, std::int32_t hop);
+  void on_probe(const Packet& p, std::int32_t hop);
+  void on_response(const Packet& p, std::int32_t hop);
+  void on_update(const Packet& p, std::int32_t hop);
+  void on_bottleneck(const Packet& p, std::int32_t hop);
+  void on_set_bottleneck(const Packet& p, std::int32_t hop);
+  void on_leave(const Packet& p, std::int32_t hop);
+
+ private:
+  /// Figure 2 lines 4-10: pull sessions whose recorded rate reached Be
+  /// back from Fe into Re, then trigger a re-probe (Update) for every
+  /// idle Re session whose rate now exceeds Be.
+  void process_new_restricted();
+
+  /// Emits Update(s) upstream from this link and marks s WAITING_PROBE.
+  void kick(SessionId s);
+
+  LinkId id_;
+  LinkSessionTable table_;
+  Transport& transport_;
+};
+
+}  // namespace bneck::core

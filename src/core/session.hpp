@@ -1,0 +1,29 @@
+// Session model.
+//
+// A session is a single-path flow from a source host to a destination
+// host with an optional maximum requested rate (its *demand*, the r in
+// API.Join(s, r)); demand defaults to unlimited.  Paths are fixed at join
+// time, as in the paper (§II).
+#pragma once
+
+#include "base/ids.hpp"
+#include "base/rate.hpp"
+#include "net/routing.hpp"
+
+namespace bneck::core {
+
+struct SessionSpec {
+  SessionId id;
+  net::Path path;                 // source access link ... destination access link
+  Rate demand = kRateInfinity;    // maximum requested rate r_s
+
+  /// Weighted max-min extension (Hou et al. [12] direction; centralized
+  /// solvers only — the distributed protocol implements the paper's
+  /// unweighted criterion).  A session with weight w receives w times
+  /// the share of an equal competitor at every common bottleneck.
+  double weight = 1.0;
+
+  [[nodiscard]] LinkId first_link() const { return path.links.front(); }
+};
+
+}  // namespace bneck::core

@@ -1,0 +1,101 @@
+#include "core/source_node.hpp"
+
+#include <algorithm>
+
+namespace bneck::core {
+
+void SourceNode::send_probe() {
+  mu_ = Mu::WaitingResponse;
+  Packet p;
+  p.type = PacketType::Probe;
+  p.session = s_;
+  p.lambda = ds_;
+  p.eta = e0_;
+  transport_.send_downstream(p, emit_hop_);
+}
+
+void SourceNode::api_join(Rate requested) {
+  BNECK_EXPECT(requested > 0, "requested rate must be positive");
+  in_f_ = false;  // Re ← {s}
+  ds_ = std::min(requested, ce_);
+  mu_ = Mu::WaitingResponse;
+  upd_rcv_ = false;
+  bneck_rcv_ = false;
+  Packet p;
+  p.type = PacketType::Join;
+  p.session = s_;
+  p.lambda = ds_;
+  p.eta = e0_;
+  transport_.send_downstream(p, emit_hop_);
+}
+
+void SourceNode::api_leave() {
+  in_f_ = false;
+  Packet p;
+  p.type = PacketType::Leave;
+  p.session = s_;
+  transport_.send_downstream(p, emit_hop_);
+}
+
+void SourceNode::api_change(Rate requested) {
+  BNECK_EXPECT(requested > 0, "requested rate must be positive");
+  ds_ = std::min(requested, ce_);
+  if (mu_ == Mu::Idle) {
+    in_f_ = false;  // back to Re = {s}
+    upd_rcv_ = false;
+    bneck_rcv_ = false;
+    send_probe();
+  } else {
+    upd_rcv_ = true;
+  }
+}
+
+void SourceNode::on_update(const Packet&) {
+  if (mu_ == Mu::Idle) {
+    in_f_ = false;
+    bneck_rcv_ = false;
+    send_probe();
+  } else {
+    upd_rcv_ = true;
+  }
+}
+
+void SourceNode::notify_and_certify() {
+  bneck_rcv_ = true;
+  rate_cb_(s_, lambda_);
+  const bool restricted_here = !rate_gt(ds_, lambda_);  // Ds = λs
+  if (!restricted_here) in_f_ = true;  // Fe ← {s}
+  Packet p;
+  p.type = PacketType::SetBottleneck;
+  p.session = s_;
+  p.beta = restricted_here;
+  transport_.send_downstream(p, emit_hop_);
+}
+
+void SourceNode::on_bottleneck(const Packet&) {
+  if (mu_ == Mu::Idle && !bneck_rcv_) {
+    notify_and_certify();
+  }
+}
+
+void SourceNode::on_response(const Packet& p) {
+  if (p.tag == ResponseTag::Update || upd_rcv_) {
+    upd_rcv_ = false;
+    bneck_rcv_ = false;
+    send_probe();
+  } else if (p.tag == ResponseTag::Bottleneck) {
+    lambda_ = p.lambda;
+    mu_ = Mu::Idle;
+    notify_and_certify();
+  } else {  // τ = RESPONSE
+    lambda_ = p.lambda;
+    mu_ = Mu::Idle;
+    if (rate_eq(ds_, lambda_)) {
+      // The session is restricted by its own request (or access link):
+      // its rate is final without any router declaring a bottleneck.
+      notify_and_certify();
+    }
+  }
+}
+
+}  // namespace bneck::core

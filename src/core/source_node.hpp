@@ -1,0 +1,84 @@
+// SourceNode task (paper Figure 3).
+//
+// One instance per active session, running at the session's source host.
+// The source manages the session's first link e0 (its dedicated access
+// link): it computes Ds = min(r, C_{e0}) — the paper's modified-system
+// transformation of the requested maximum rate — starts Join/Probe
+// cycles, deduplicates re-probe triggers (upd_rcv), recognizes
+// stabilization (bneck_rcv), invokes API.Rate and launches SetBottleneck
+// certification passes.
+#pragma once
+
+#include <functional>
+
+#include "core/packet.hpp"
+#include "core/router_link.hpp"
+
+namespace bneck::core {
+
+class SourceNode {
+ public:
+  /// rate_cb is API.Rate: invoked with the session's rate whenever the
+  /// protocol (re)confirms it.
+  using RateCallback = std::function<void(SessionId, Rate)>;
+
+  /// Dedicated-access mode (paper Figure 3): `eta0` is the session's
+  /// access link and `first_link_capacity` its bandwidth; `emit_hop` is
+  /// 0 (the source transmits across the access link itself).
+  ///
+  /// Shared-access mode (extension): `eta0` is the invalid link (the
+  /// initial restriction is the session's own request, not a link),
+  /// capacity is infinite and `emit_hop` is -1 (the access link runs a
+  /// RouterLink task; handoff to it is host-internal).
+  SourceNode(SessionId s, LinkId eta0, Rate first_link_capacity,
+             std::int32_t emit_hop, Transport& transport,
+             RateCallback rate_cb)
+      : s_(s),
+        e0_(eta0),
+        ce_(first_link_capacity),
+        emit_hop_(emit_hop),
+        transport_(transport),
+        rate_cb_(std::move(rate_cb)) {}
+
+  SourceNode(const SourceNode&) = delete;
+  SourceNode& operator=(const SourceNode&) = delete;
+
+  // -- API primitives --
+  void api_join(Rate requested);
+  void api_leave();
+  void api_change(Rate requested);
+
+  // -- packet handlers (hop 0) --
+  void on_update(const Packet& p);
+  void on_bottleneck(const Packet& p);
+  void on_response(const Packet& p);
+
+  [[nodiscard]] SessionId session() const { return s_; }
+  [[nodiscard]] Rate ds() const { return ds_; }
+  [[nodiscard]] Mu mu() const { return mu_; }
+  [[nodiscard]] Rate lambda() const { return lambda_; }
+  [[nodiscard]] bool bottleneck_received() const { return bneck_rcv_; }
+  /// Source-side stability: no probe cycle running or pending.
+  [[nodiscard]] bool stable() const { return mu_ == Mu::Idle && !upd_rcv_; }
+
+ private:
+  void send_probe();
+  void notify_and_certify();
+
+  SessionId s_;
+  LinkId e0_;
+  Rate ce_;
+  std::int32_t emit_hop_ = 0;
+
+  Rate ds_ = 0;                 // min(requested, C_{e0})
+  Mu mu_ = Mu::Idle;            // state of s at its first link
+  Rate lambda_ = 0;             // λ^{e0}_s, last accepted rate
+  bool in_f_ = false;           // Fe = {s}?  (else Re = {s} while active)
+  bool upd_rcv_ = false;        // re-probe required after current cycle
+  bool bneck_rcv_ = false;      // rate already confirmed and certified
+
+  Transport& transport_;
+  RateCallback rate_cb_;
+};
+
+}  // namespace bneck::core

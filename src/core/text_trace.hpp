@@ -1,0 +1,69 @@
+// Human-readable protocol trace.
+//
+// A TraceSink that renders every packet crossing and every API.Rate
+// notification as one line on an ostream — the tool to reach for when a
+// convergence looks wrong:
+//
+//   12.340us  Join        s=3  link=17  lambda=100.00 eta=2
+//   24.680us  Response    s=3  link=16  tau=BOTTLENECK lambda=33.33 eta=9
+//   24.680us  API.Rate    s=3  rate=33.33
+//
+// Optionally filtered to one session.  Intended for small scenarios
+// (every crossing is a line); combine with PacketBinner for statistics.
+#pragma once
+
+#include <ostream>
+
+#include "core/trace.hpp"
+
+namespace bneck::core {
+
+class TextTracer final : public TraceSink {
+ public:
+  /// Traces everything, or only `only` when it is a valid id.
+  explicit TextTracer(std::ostream& os, SessionId only = SessionId{})
+      : os_(os), only_(only) {}
+
+  void on_packet_sent(TimeNs t, const Packet& p, LinkId physical) override {
+    if (only_.valid() && p.session != only_) return;
+    os_ << format_time(t) << "  " << packet_type_name(p.type)
+        << "  s=" << p.session << "  link=" << physical
+        << "  hop=" << p.hop;
+    switch (p.type) {
+      case PacketType::Join:
+      case PacketType::Probe:
+        os_ << "  lambda=" << format_rate(p.lambda) << "  eta=" << p.eta;
+        break;
+      case PacketType::Response:
+        os_ << "  tau="
+            << (p.tag == ResponseTag::Response     ? "RESPONSE"
+                : p.tag == ResponseTag::Update     ? "UPDATE"
+                                                   : "BOTTLENECK")
+            << "  lambda=" << format_rate(p.lambda) << "  eta=" << p.eta;
+        break;
+      case PacketType::SetBottleneck:
+        os_ << "  beta=" << (p.beta ? "true" : "false");
+        break;
+      default:
+        break;
+    }
+    os_ << '\n';
+    ++lines_;
+  }
+
+  void on_rate_notified(TimeNs t, SessionId s, Rate r) override {
+    if (only_.valid() && s != only_) return;
+    os_ << format_time(t) << "  API.Rate  s=" << s
+        << "  rate=" << format_rate(r) << '\n';
+    ++lines_;
+  }
+
+  [[nodiscard]] std::uint64_t lines() const { return lines_; }
+
+ private:
+  std::ostream& os_;
+  SessionId only_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace bneck::core

@@ -1,0 +1,28 @@
+// Observation hooks for experiments.
+//
+// The harness counts "every packet sent across a link" (paper Fig. 5
+// right / Fig. 6 / Fig. 8) and samples rate notifications (Fig. 7), so
+// the protocol reports both through this interface.  The default no-op
+// implementations make partial observers cheap.
+#pragma once
+
+#include "base/ids.hpp"
+#include "base/rate.hpp"
+#include "base/time.hpp"
+#include "core/packet.hpp"
+
+namespace bneck::core {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A protocol packet was handed to a directed physical link.
+  virtual void on_packet_sent(TimeNs /*t*/, const Packet& /*p*/,
+                              LinkId /*physical_link*/) {}
+
+  /// API.Rate(s, λ) was invoked.
+  virtual void on_rate_notified(TimeNs /*t*/, SessionId /*s*/, Rate /*r*/) {}
+};
+
+}  // namespace bneck::core

@@ -1,0 +1,127 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace bneck::net {
+
+PathFinder::PathFinder(const Network& network)
+    : net_(network),
+      router_adj_(static_cast<std::size_t>(network.node_count())) {
+  for (std::int32_t n = 0; n < network.node_count(); ++n) {
+    const NodeId node{n};
+    if (network.is_host(node)) continue;
+    auto& adj = router_adj_[static_cast<std::size_t>(n)];
+    for (const LinkId e : network.links_from(node)) {
+      if (!network.is_host(network.link(e).dst)) adj.push_back(e);
+    }
+  }
+}
+
+std::optional<Path> PathFinder::assemble(
+    NodeId src_host, NodeId dst_host,
+    const std::vector<LinkId>& parent_link) const {
+  const NodeId src_router = net_.host_router(src_host);
+  const NodeId dst_router = net_.host_router(dst_host);
+  std::vector<LinkId> router_links;
+  NodeId at = dst_router;
+  while (at != src_router) {
+    const LinkId pe = parent_link[static_cast<std::size_t>(at.value())];
+    if (!pe.valid()) return std::nullopt;  // unreachable
+    router_links.push_back(pe);
+    at = net_.link(pe).src;
+  }
+  Path path;
+  path.links.reserve(router_links.size() + 2);
+  path.links.push_back(net_.host_uplink(src_host));
+  path.links.insert(path.links.end(), router_links.rbegin(),
+                    router_links.rend());
+  path.links.push_back(net_.host_downlink(dst_host));
+  return path;
+}
+
+std::optional<Path> PathFinder::shortest_path(NodeId src_host,
+                                              NodeId dst_host) const {
+  BNECK_EXPECT(net_.is_host(src_host) && net_.is_host(dst_host),
+               "endpoints must be hosts");
+  BNECK_EXPECT(src_host != dst_host, "source equals destination");
+  const NodeId src_router = net_.host_router(src_host);
+  const NodeId dst_router = net_.host_router(dst_host);
+
+  std::vector<LinkId> parent(static_cast<std::size_t>(net_.node_count()),
+                             LinkId{});
+  if (src_router != dst_router) {
+    std::vector<bool> seen(static_cast<std::size_t>(net_.node_count()), false);
+    seen[static_cast<std::size_t>(src_router.value())] = true;
+    std::deque<NodeId> frontier{src_router};
+    bool found = false;
+    while (!frontier.empty() && !found) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const LinkId e : router_adj_[static_cast<std::size_t>(u.value())]) {
+        const NodeId v = net_.link(e).dst;
+        auto s = seen[static_cast<std::size_t>(v.value())];
+        if (s) continue;
+        s = true;
+        parent[static_cast<std::size_t>(v.value())] = e;
+        if (v == dst_router) {
+          found = true;
+          break;
+        }
+        frontier.push_back(v);
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return assemble(src_host, dst_host, parent);
+}
+
+std::optional<Path> PathFinder::min_delay_path(NodeId src_host,
+                                               NodeId dst_host) const {
+  BNECK_EXPECT(net_.is_host(src_host) && net_.is_host(dst_host),
+               "endpoints must be hosts");
+  BNECK_EXPECT(src_host != dst_host, "source equals destination");
+  const NodeId src_router = net_.host_router(src_host);
+  const NodeId dst_router = net_.host_router(dst_host);
+
+  const auto n = static_cast<std::size_t>(net_.node_count());
+  std::vector<TimeNs> dist(n, kTimeNever);
+  std::vector<LinkId> parent(n, LinkId{});
+  using Item = std::pair<TimeNs, NodeId>;
+  const auto later = [](const Item& a, const Item& b) {
+    return a.first != b.first ? a.first > b.first : a.second.value() > b.second.value();
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(later)> pq(later);
+  dist[static_cast<std::size_t>(src_router.value())] = 0;
+  pq.push({0, src_router});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[static_cast<std::size_t>(u.value())]) continue;
+    if (u == dst_router) break;
+    for (const LinkId e : router_adj_[static_cast<std::size_t>(u.value())]) {
+      const Link& l = net_.link(e);
+      const TimeNs nd = d + l.prop_delay;
+      auto& dv = dist[static_cast<std::size_t>(l.dst.value())];
+      if (nd < dv) {
+        dv = nd;
+        parent[static_cast<std::size_t>(l.dst.value())] = e;
+        pq.push({nd, l.dst});
+      }
+    }
+  }
+  if (src_router != dst_router &&
+      dist[static_cast<std::size_t>(dst_router.value())] == kTimeNever) {
+    return std::nullopt;
+  }
+  return assemble(src_host, dst_host, parent);
+}
+
+TimeNs PathFinder::path_delay(const Path& path) const {
+  TimeNs total = 0;
+  for (const LinkId e : path.links) total += net_.link(e).prop_delay;
+  return total;
+}
+
+}  // namespace bneck::net

@@ -1,0 +1,95 @@
+#include "proto/bfyz.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace bneck::proto {
+
+Bfyz::Bfyz(sim::Simulator& simulator, const net::Network& network,
+           BfyzConfig config)
+    : CellProtocolBase(simulator, network, config.cell),
+      cfg2_(config),
+      links_(static_cast<std::size_t>(network.link_count())) {}
+
+Bfyz::LinkState& Bfyz::state(LinkId e) {
+  auto& slot = links_[static_cast<std::size_t>(e.value())];
+  if (!slot.has_value()) {
+    slot.emplace();
+    slot->capacity = network().link(e).capacity;
+    slot->advertised = slot->capacity;  // optimistic start: overshoots
+  }
+  if (!timer_started_) {
+    timer_started_ = true;
+    schedule_periodic(cfg2_.recompute_period, [this] { recompute_all(); });
+  }
+  return *slot;
+}
+
+Rate Bfyz::advertised(LinkId e) const {
+  const auto& slot = links_[static_cast<std::size_t>(e.value())];
+  return slot.has_value() ? slot->advertised : network().link(e).capacity;
+}
+
+void Bfyz::on_forward(LinkId link, Session&, Cell& cell) {
+  LinkState& st = state(link);
+  st.recorded.try_emplace(cell.s);  // unknown sessions count as unmarked
+  cell.field = std::min(cell.field, st.advertised);
+}
+
+void Bfyz::on_backward(LinkId link, Session&, Cell& cell) {
+  LinkState& st = state(link);
+  const auto it = st.recorded.find(cell.s);
+  if (it == st.recorded.end()) return;  // left in the meantime
+  it->second = cell.field;
+  st.dirty = true;
+}
+
+void Bfyz::on_leave_link(LinkId link, SessionId s) {
+  auto& slot = links_[static_cast<std::size_t>(link.value())];
+  if (!slot.has_value()) return;
+  slot->recorded.erase(s);
+  slot->dirty = true;
+}
+
+void Bfyz::recompute(LinkState& st) const {
+  // Consistent marking over the recorded rates.  Sessions whose rate is
+  // still unknown are treated as unrestricted (rate +inf): they stay
+  // unmarked and share the residual equally.
+  const std::size_t n = st.recorded.size();
+  if (n == 0) {
+    st.advertised = st.capacity;
+    return;
+  }
+  std::vector<double> rates;
+  rates.reserve(n);
+  for (const auto& [s, r] : st.recorded) {
+    rates.push_back(r.value_or(kRateInfinity));
+  }
+  std::sort(rates.begin(), rates.end());
+  // Scan k = number of marked (restricted-elsewhere) sessions, smallest
+  // first: A_k = (C - prefix_k)/(n - k); grow k while the next rate is
+  // still below its offer.
+  double prefix = 0;
+  double a = st.capacity / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    a = (st.capacity - prefix) / static_cast<double>(n - k);
+    if (!rate_lt(rates[k], a)) break;  // rates[k] gets the full offer
+    prefix += rates[k];
+    if (k + 1 == n) {
+      // Everyone marked: offer the residual to whoever asks next.
+      a = st.capacity - prefix + rates[n - 1];
+    }
+  }
+  st.advertised = std::max(a, 0.0);
+}
+
+void Bfyz::recompute_all() {
+  for (auto& slot : links_) {
+    if (slot.has_value() && slot->dirty) {
+      recompute(*slot);
+      slot->dirty = false;
+    }
+  }
+}
+
+}  // namespace bneck::proto

@@ -1,0 +1,66 @@
+// Adapter: the (quiescent) B-Neck protocol behind the common
+// FairShareProtocol interface, so Experiment 3 drives all four protocols
+// through identical harness code.
+#pragma once
+
+#include <memory>
+
+#include "core/bneck.hpp"
+#include "proto/protocol.hpp"
+
+namespace bneck::proto {
+
+class BneckDriver final : public FairShareProtocol {
+ public:
+  /// `trace` (optional) additionally receives every protocol event, e.g.
+  /// a PacketBinner for the per-type accounting of Fig. 6.
+  BneckDriver(sim::Simulator& simulator, const net::Network& network,
+              core::BneckConfig config = {}, core::TraceSink* trace = nullptr)
+      : fan_(std::make_unique<FanoutSink>()),
+        bneck_(simulator, network, config, fan_.get()) {
+    fan_->inner = trace;
+  }
+
+  [[nodiscard]] std::string name() const override { return "B-Neck"; }
+
+  void join(SessionId s, net::Path path, Rate demand) override {
+    bneck_.join(s, std::move(path), demand);
+  }
+  void leave(SessionId s) override { bneck_.leave(s); }
+  void change(SessionId s, Rate demand) override { bneck_.change(s, demand); }
+
+  [[nodiscard]] Rate current_rate(SessionId s) const override {
+    return bneck_.notified_rate(s).value_or(0.0);
+  }
+  [[nodiscard]] std::vector<core::SessionSpec> active_specs() const override {
+    return bneck_.active_specs();
+  }
+  [[nodiscard]] std::uint64_t packets_sent() const override {
+    return bneck_.packets_sent();
+  }
+  void set_packet_listener(std::function<void(TimeNs)> listener) override {
+    fan_->listener = std::move(listener);
+  }
+
+  [[nodiscard]] core::BneckProtocol& protocol() { return bneck_; }
+  [[nodiscard]] const core::BneckProtocol& protocol() const { return bneck_; }
+
+ private:
+  struct FanoutSink : core::TraceSink {
+    core::TraceSink* inner = nullptr;
+    std::function<void(TimeNs)> listener;
+    void on_packet_sent(TimeNs t, const core::Packet& p,
+                        LinkId physical) override {
+      if (inner != nullptr) inner->on_packet_sent(t, p, physical);
+      if (listener) listener(t);
+    }
+    void on_rate_notified(TimeNs t, SessionId s, Rate r) override {
+      if (inner != nullptr) inner->on_rate_notified(t, s, r);
+    }
+  };
+
+  std::unique_ptr<FanoutSink> fan_;  // must outlive bneck_
+  core::BneckProtocol bneck_;
+};
+
+}  // namespace bneck::proto

@@ -1,0 +1,159 @@
+#include "proto/cell_base.hpp"
+
+#include <algorithm>
+
+namespace bneck::proto {
+
+CellProtocolBase::CellProtocolBase(sim::Simulator& simulator,
+                                   const net::Network& network,
+                                   CellConfig config)
+    : sim_(simulator),
+      net_(network),
+      cfg_(config),
+      channels_(static_cast<std::size_t>(network.link_count())) {
+  BNECK_EXPECT(cfg_.cell_period > 0, "cell period must be positive");
+  BNECK_EXPECT(cfg_.packet_bits > 0, "packet size must be positive");
+}
+
+void CellProtocolBase::join(SessionId s, net::Path path, Rate demand) {
+  BNECK_EXPECT(sessions_.find(s) == sessions_.end(),
+               "session ids are single-use");
+  BNECK_EXPECT(path.links.size() >= 2, "path needs access links at both ends");
+  auto& sess = sessions_[s];
+  sess.path = std::move(path);
+  sess.demand = demand;
+  sess.rate = 0;
+  sess.active = true;
+  send_cell(s);
+  cell_tick(s);
+}
+
+void CellProtocolBase::leave(SessionId s) {
+  const auto it = sessions_.find(s);
+  BNECK_EXPECT(it != sessions_.end() && it->second.active,
+               "leave of inactive session");
+  it->second.active = false;
+  it->second.rate = 0;
+  for (const LinkId e : it->second.path.links) on_leave_link(e, s);
+}
+
+void CellProtocolBase::change(SessionId s, Rate demand) {
+  const auto it = sessions_.find(s);
+  BNECK_EXPECT(it != sessions_.end() && it->second.active,
+               "change of inactive session");
+  it->second.demand = demand;  // next cells carry the new request
+}
+
+Rate CellProtocolBase::current_rate(SessionId s) const {
+  const auto it = sessions_.find(s);
+  return it != sessions_.end() && it->second.active ? it->second.rate : 0.0;
+}
+
+std::vector<core::SessionSpec> CellProtocolBase::active_specs() const {
+  std::vector<core::SessionSpec> specs;
+  for (const auto& [s, sess] : sessions_) {
+    if (sess.active) specs.push_back({s, sess.path, sess.demand});
+  }
+  std::sort(specs.begin(), specs.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  return specs;
+}
+
+Rate CellProtocolBase::on_source_return(Session& session, const Cell& cell) {
+  return std::min(cell.field, session.demand);
+}
+
+void CellProtocolBase::schedule_periodic(TimeNs period,
+                                         std::function<void()> fn) {
+  BNECK_EXPECT(period > 0, "periodic interval must be positive");
+  // Self-rescheduling chain that stops when the protocol shuts down.
+  auto loop = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = loop;
+  *loop = [this, period, fn = std::move(fn), weak] {
+    if (!running_) return;
+    fn();
+    if (const auto self = weak.lock()) sim_.schedule_in(period, *self);
+  };
+  sim_.schedule_in(period, *loop);
+  keepalive_.push_back(std::move(loop));
+}
+
+void CellProtocolBase::cell_tick(SessionId s) {
+  // Per-session periodic cell clock; dies with the session or shutdown.
+  sim_.schedule_in(cfg_.cell_period, [this, s] {
+    if (!running_) return;
+    const auto it = sessions_.find(s);
+    if (it == sessions_.end() || !it->second.active) return;
+    send_cell(s);
+    cell_tick(s);
+  });
+}
+
+void CellProtocolBase::send_cell(SessionId s) {
+  auto& sess = sessions_.at(s);
+  Cell cell;
+  cell.s = s;
+  cell.field = sess.demand;
+  cell.declared = sess.rate;
+  cell.hop = 0;
+  cell.forward = true;
+  forward_cell(std::move(cell));
+}
+
+void CellProtocolBase::forward_cell(Cell cell) {
+  auto& sess = sessions_.at(cell.s);
+  on_forward(sess.path.links[static_cast<std::size_t>(cell.hop)], sess, cell);
+  const LinkId physical =
+      sess.path.links[static_cast<std::size_t>(cell.hop)];
+  ++cell.hop;
+  transmit(std::move(cell), physical);
+}
+
+void CellProtocolBase::transmit(Cell cell, LinkId physical) {
+  const net::Link& l = net_.link(physical);
+  const TimeNs tx = static_cast<TimeNs>(
+      static_cast<double>(cfg_.packet_bits) * 1000.0 / l.capacity + 0.5);
+  const TimeNs arrival =
+      channels_[static_cast<std::size_t>(physical.value())].transmit(
+          sim_.now(), tx, l.prop_delay);
+  ++packets_;
+  if (packet_listener_) packet_listener_(sim_.now());
+  sim_.schedule_at(arrival, [this, cell = std::move(cell)] { deliver(cell); });
+}
+
+void CellProtocolBase::move_backward(Cell cell) {
+  // From node position `hop` to position hop-1, crossing the reverse of
+  // the forward link between them.
+  auto& sess = sessions_.at(cell.s);
+  const LinkId fwd_link =
+      sess.path.links[static_cast<std::size_t>(cell.hop - 1)];
+  --cell.hop;
+  transmit(std::move(cell), net_.link(fwd_link).reverse);
+}
+
+void CellProtocolBase::deliver(Cell cell) {
+  const auto it = sessions_.find(cell.s);
+  if (it == sessions_.end() || !it->second.active) return;  // session left
+  Session& sess = it->second;
+  const auto path_len = static_cast<std::int32_t>(sess.path.links.size());
+
+  if (cell.forward) {
+    if (cell.hop < path_len) {
+      forward_cell(std::move(cell));
+      return;
+    }
+    // Destination: echo the cell back.
+    cell.forward = false;
+    move_backward(std::move(cell));
+    return;
+  }
+  // Backward cell just crossed the reverse of path link `hop`.
+  on_backward(sess.path.links[static_cast<std::size_t>(cell.hop)], sess, cell);
+  if (cell.hop == 0) {
+    sess.rate = on_source_return(sess, cell);
+    return;
+  }
+  move_backward(std::move(cell));
+}
+
+}  // namespace bneck::proto

@@ -1,0 +1,62 @@
+// Common interface for rate-allocation protocols under simulation.
+//
+// Experiment 3 of the paper compares B-Neck against three non-quiescent
+// protocols (BFYZ, CG, RCP).  This interface is what the experiment
+// harness drives: join/leave sessions, read the rate each protocol has
+// currently assigned, and count control packets.  B-Neck itself is
+// adapted to the interface by BneckDriver so all four run under the same
+// harness.
+//
+// Unlike B-Neck, the baselines never quiesce: they keep periodic control
+// loops running, so experiments advance the simulator with run_until(t)
+// rather than run_until_idle() and detect convergence by polling rates
+// against the centralized solution.  shutdown() stops the loops so a
+// finished experiment can drain the event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "base/rate.hpp"
+#include "base/time.hpp"
+#include "core/session.hpp"
+#include "net/routing.hpp"
+
+namespace bneck::proto {
+
+class FairShareProtocol {
+ public:
+  virtual ~FairShareProtocol() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual void join(SessionId s, net::Path path,
+                    Rate demand = kRateInfinity) = 0;
+  virtual void leave(SessionId s) = 0;
+  /// API.Change(s, r): adjusts the maximum requested rate.
+  virtual void change(SessionId s, Rate demand) = 0;
+
+  /// Installs a per-link-crossing callback used by the harness for
+  /// per-interval packet accounting (paper Figs. 6 and 8).
+  virtual void set_packet_listener(std::function<void(TimeNs)> listener) = 0;
+
+  /// The rate the protocol currently assigns to s (0 before the first
+  /// assignment).  For B-Neck this is the last API.Rate notification.
+  [[nodiscard]] virtual Rate current_rate(SessionId s) const = 0;
+
+  /// Active sessions as centralized-solver input, ascending by id.
+  [[nodiscard]] virtual std::vector<core::SessionSpec> active_specs()
+      const = 0;
+
+  /// Total control packets handed to links (each hop counted once).
+  [[nodiscard]] virtual std::uint64_t packets_sent() const = 0;
+
+  /// Stops periodic control loops so the event queue can drain.  No-op
+  /// for quiescent protocols.
+  virtual void shutdown() {}
+};
+
+}  // namespace bneck::proto

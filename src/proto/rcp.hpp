@@ -1,0 +1,63 @@
+// RCP baseline: Rate Control Protocol (Dukkipati et al., IWQoS 2005).
+//
+// Experiment 3 uses RCP as the representative of modern explicit
+// congestion controllers that keep no per-flow state: each link
+// maintains a single per-flow rate offer R, updated periodically from
+// the measured aggregate arrival rate y and a (virtual) queue q using
+// the published control law
+//
+//   R <- R * (1 + (T/d) * (alpha*(C - y) - beta*q/d) / C)
+//
+// Sessions pick up min(R) over their path via periodic control packets.
+// In steady state the offers converge towards processor-sharing rates
+// (max-min); before steady state they oscillate, and the controller
+// never stops sending — the non-quiescence B-Neck eliminates.
+#pragma once
+
+#include <optional>
+
+#include "proto/cell_base.hpp"
+
+namespace bneck::proto {
+
+struct RcpConfig {
+  CellConfig cell;
+  /// Control interval T.
+  TimeNs control_period = microseconds(500);
+  /// Round-trip estimate d used by the control law.
+  TimeNs rtt_estimate = microseconds(1000);
+  double alpha = 0.4;
+  double beta = 1.0;
+};
+
+class Rcp final : public CellProtocolBase {
+ public:
+  Rcp(sim::Simulator& simulator, const net::Network& network,
+      RcpConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "RCP"; }
+
+  [[nodiscard]] Rate offer(LinkId e) const;
+
+ protected:
+  void on_forward(LinkId link, Session& session, Cell& cell) override;
+  void on_backward(LinkId link, Session& session, Cell& cell) override;
+  void on_leave_link(LinkId link, SessionId s) override;
+
+ private:
+  struct LinkState {
+    Rate capacity = 0;
+    Rate r = 0;         // per-flow rate offer
+    double y_acc = 0;   // aggregate declared rate accumulated this period
+    double queue = 0;   // virtual queue, megabits
+  };
+
+  LinkState& state(LinkId e);
+  void control_step();
+
+  RcpConfig cfg2_;
+  std::vector<std::optional<LinkState>> links_;
+  bool timer_started_ = false;
+};
+
+}  // namespace bneck::proto

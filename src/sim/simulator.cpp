@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace bneck::sim {
+
+void Simulator::schedule_at(TimeNs t, EventFn fn) {
+  BNECK_EXPECT(t >= now_, "cannot schedule into the past");
+  BNECK_EXPECT(fn != nullptr, "null event");
+  queue_.push(Entry{t, seq_++, std::move(fn)});
+}
+
+void Simulator::check_budget() const {
+  BNECK_EXPECT(processed_ <= max_events_,
+               "event budget exceeded: protocol is not quiescing");
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the handle is moved out before pop.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = e.t;
+  last_event_time_ = e.t;
+  ++processed_;
+  check_budget();
+  e.fn();
+  return true;
+}
+
+TimeNs Simulator::run_until_idle() {
+  while (step()) {
+  }
+  return last_event_time_;
+}
+
+void Simulator::run_until(TimeNs t) {
+  BNECK_EXPECT(t >= now_, "run_until into the past");
+  while (!queue_.empty() && queue_.top().t <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace bneck::sim

@@ -1,0 +1,106 @@
+// Discrete-event simulator.
+//
+// A deterministic event queue: events fire in (time, insertion-sequence)
+// order, so two events scheduled for the same instant run in the order
+// they were scheduled and every run with the same inputs is identical.
+//
+// The B-Neck evaluation relies on `run_until_idle()` — B-Neck is
+// quiescent, so after a burst of session changes the queue *drains*, and
+// the timestamp of the last processed event is the paper's "time to
+// quiescence".  A configurable max_events bound turns a non-terminating
+// protocol bug into an exception instead of a hang.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/expect.hpp"
+#include "base/time.hpp"
+
+namespace bneck::sim {
+
+using EventFn = std::function<void()>;
+
+class Simulator {
+ public:
+  /// Schedules fn at absolute time t.  Requires t >= now().
+  void schedule_at(TimeNs t, EventFn fn);
+
+  /// Schedules fn `delay` after the current time.  Requires delay >= 0.
+  void schedule_in(TimeNs delay, EventFn fn) {
+    schedule_at(now() + delay, std::move(fn));
+  }
+
+  /// Current simulated time: the timestamp of the event being processed,
+  /// or of the last processed event when between events.
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Runs until the queue drains.  Returns the timestamp of the last
+  /// processed event (now() if no event ran).  Throws InvariantError if
+  /// max_events() is exceeded.
+  TimeNs run_until_idle();
+
+  /// Processes every event with timestamp <= t, then advances now() to t.
+  /// Events scheduled during processing are honored if they fall within t.
+  void run_until(TimeNs t);
+
+  /// Processes exactly one event if available; returns false when idle.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] TimeNs last_event_time() const { return last_event_time_; }
+
+  /// Safety bound on total processed events (default 4e9).
+  void set_max_events(std::uint64_t m) { max_events_ = m; }
+
+ private:
+  struct Entry {
+    TimeNs t;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  void check_budget() const;
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimeNs now_ = 0;
+  TimeNs last_event_time_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t max_events_ = 4'000'000'000ULL;
+};
+
+/// Per-directed-link FIFO transmission clock.
+///
+/// Control packets crossing the same directed link serialize: a packet
+/// handed to the link at `now` starts transmitting when the link is free,
+/// occupies it for `tx`, then propagates for `prop`.  This both models
+/// store-and-forward timing and guarantees the per-link FIFO delivery the
+/// B-Neck correctness argument assumes (DESIGN.md §3).
+class FifoChannel {
+ public:
+  /// Returns the arrival time at the far end and advances the busy horizon.
+  TimeNs transmit(TimeNs now, TimeNs tx, TimeNs prop) {
+    BNECK_EXPECT(tx >= 0 && prop >= 0, "negative link delay");
+    const TimeNs start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + tx;
+    return busy_until_ + prop;
+  }
+
+  [[nodiscard]] TimeNs busy_until() const { return busy_until_; }
+  void reset() { busy_until_ = 0; }
+
+ private:
+  TimeNs busy_until_ = 0;
+};
+
+}  // namespace bneck::sim

@@ -1,0 +1,58 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/expect.hpp"
+
+namespace bneck::stats {
+
+namespace {
+
+// Percentile of an already-sorted sample, linear interpolation.
+double sorted_percentile(const std::vector<double>& s, double q) {
+  BNECK_EXPECT(!s.empty(), "percentile of empty sample");
+  BNECK_EXPECT(q >= 0.0 && q <= 1.0, "percentile out of [0,1]");
+  if (s.size() == 1) return s[0];
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return sorted_percentile(samples, q);
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary out;
+  out.count = samples.size();
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (const double x : samples) sum += x;
+  out.mean = sum / static_cast<double>(samples.size());
+  out.min = samples.front();
+  out.max = samples.back();
+  out.p10 = sorted_percentile(samples, 0.10);
+  out.p50 = sorted_percentile(samples, 0.50);
+  out.p90 = sorted_percentile(samples, 0.90);
+  return out;
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+}  // namespace bneck::stats

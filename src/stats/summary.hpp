@@ -1,0 +1,48 @@
+// Summary statistics: percentiles, mean, min/max.
+//
+// Used for the paper's Figure 7 series (10th/90th percentile, median and
+// average of per-session relative rate error) and general reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bneck::stats {
+
+/// Point summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p10 = 0;
+  double p50 = 0;
+  double p90 = 0;
+};
+
+/// Percentile with linear interpolation between closest ranks
+/// (the "exclusive" definition used by gnuplot/numpy default).
+/// q in [0,1].  Requires a non-empty sample.
+double percentile(std::vector<double> samples, double q);
+
+/// Computes all Summary fields in one pass (sorts a copy once).
+Summary summarize(std::vector<double> samples);
+
+/// Online accumulator when samples are not retained.
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace bneck::stats

@@ -1,0 +1,69 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/expect.hpp"
+
+namespace bneck::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  BNECK_EXPECT(!headers_.empty(), "table needs headers");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  BNECK_EXPECT(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      os.width(static_cast<std::streamsize>(width[c]));
+      os << row[c];
+    }
+    os << '\n';
+  };
+  os << std::right;
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    rule += std::string(width[c], '-') + (c + 1 < width.size() ? "  " : "");
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace bneck::stats

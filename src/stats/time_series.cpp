@@ -1,0 +1,48 @@
+#include "stats/time_series.hpp"
+
+namespace bneck::stats {
+
+BinnedCounter::BinnedCounter(TimeNs bin_width,
+                             std::vector<std::string> categories)
+    : bin_width_(bin_width), categories_(std::move(categories)) {
+  BNECK_EXPECT(bin_width_ > 0, "bin width must be positive");
+  BNECK_EXPECT(!categories_.empty(), "need at least one category");
+}
+
+void BinnedCounter::add(TimeNs t, std::size_t category, std::uint64_t n) {
+  BNECK_EXPECT(t >= 0, "negative timestamp");
+  BNECK_EXPECT(category < categories_.size(), "bad category");
+  const auto bin = static_cast<std::size_t>(t / bin_width_);
+  if (bin >= bins_.size()) {
+    bins_.resize(bin + 1, std::vector<std::uint64_t>(categories_.size(), 0));
+  }
+  bins_[bin][category] += n;
+}
+
+std::uint64_t BinnedCounter::at(std::size_t bin, std::size_t category) const {
+  BNECK_EXPECT(category < categories_.size(), "bad category");
+  if (bin >= bins_.size()) return 0;
+  return bins_[bin][category];
+}
+
+std::uint64_t BinnedCounter::bin_total(std::size_t bin) const {
+  if (bin >= bins_.size()) return 0;
+  std::uint64_t sum = 0;
+  for (const auto c : bins_[bin]) sum += c;
+  return sum;
+}
+
+std::uint64_t BinnedCounter::category_total(std::size_t category) const {
+  BNECK_EXPECT(category < categories_.size(), "bad category");
+  std::uint64_t sum = 0;
+  for (const auto& bin : bins_) sum += bin[category];
+  return sum;
+}
+
+std::uint64_t BinnedCounter::total() const {
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b < bins_.size(); ++b) sum += bin_total(b);
+  return sum;
+}
+
+}  // namespace bneck::stats

@@ -1,0 +1,57 @@
+// Canonical topologies for tests, examples and hand-checkable scenarios.
+//
+// Every builder attaches hosts in a documented, deterministic order so a
+// test can address "the i-th host of router j" reliably via
+// Network::hosts().
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.hpp"
+#include "net/network.hpp"
+
+namespace bneck::topo {
+
+struct CanonicalOptions {
+  Rate router_capacity = 200.0;   // Mbps on router-router links
+  Rate access_capacity = 100.0;   // Mbps on host-router links
+  TimeNs router_delay = microseconds(1);
+  TimeNs access_delay = microseconds(1);
+  std::int32_t hosts_per_router = 1;
+};
+
+/// Routers r0 - r1 - ... - r(n-1) in a chain; hosts_per_router hosts on
+/// each.  Hosts appear in router order (all of r0's hosts, then r1's, ...).
+net::Network make_line(std::int32_t n_routers, const CanonicalOptions& opt = {});
+
+/// A hub router with n_leaves leaf routers; hosts on every router (hub
+/// hosts first).
+net::Network make_star(std::int32_t n_leaves, const CanonicalOptions& opt = {});
+
+/// Classic dumbbell: n_pairs senders on the left router, n_pairs
+/// receivers on the right router, a single bottleneck link between them.
+/// Hosts: all senders (left) first, then all receivers (right).
+net::Network make_dumbbell(std::int32_t n_pairs, Rate bottleneck_capacity,
+                           const CanonicalOptions& opt = {});
+
+/// Complete binary tree of routers of the given depth (depth 0 = 1
+/// router); hosts on leaf routers only.
+net::Network make_tree(std::int32_t depth, const CanonicalOptions& opt = {});
+
+/// Ring of n routers; hosts on every router.
+net::Network make_ring(std::int32_t n_routers, const CanonicalOptions& opt = {});
+
+/// The classic "parking lot" max-min example: a chain of n_links
+/// router-router links.  Intended use: one long session crossing all
+/// links plus one short session per link.  Hosts: one per router, in
+/// router order (router 0 .. router n_links).
+net::Network make_parking_lot(std::int32_t n_links,
+                              const CanonicalOptions& opt = {});
+
+/// Random connected router graph: spanning tree plus extra_edges random
+/// chords (no duplicates, no self-loops); hosts round-robin on routers.
+net::Network make_random(std::int32_t n_routers, std::int32_t extra_edges,
+                         std::int32_t n_hosts, Rng& rng,
+                         const CanonicalOptions& opt = {});
+
+}  // namespace bneck::topo

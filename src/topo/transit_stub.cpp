@@ -1,0 +1,158 @@
+#include "topo/transit_stub.hpp"
+
+#include <vector>
+
+namespace bneck::topo {
+
+TransitStubParams small_params() {
+  TransitStubParams p;
+  p.transit_domains = 1;
+  p.routers_per_transit = 10;
+  p.stubs_per_transit_router = 1;
+  p.routers_per_stub = 10;
+  return p;  // 10 + 10*1*10 = 110 routers
+}
+
+TransitStubParams medium_params() {
+  TransitStubParams p;
+  p.transit_domains = 10;
+  p.routers_per_transit = 10;
+  p.stubs_per_transit_router = 1;
+  p.routers_per_stub = 10;
+  return p;  // 100 + 100*1*10 = 1100 routers
+}
+
+TransitStubParams big_params() {
+  TransitStubParams p;
+  p.transit_domains = 10;
+  p.routers_per_transit = 100;
+  p.stubs_per_transit_router = 1;
+  p.routers_per_stub = 10;
+  return p;  // 1000 + 1000*1*10 = 11000 routers
+}
+
+TransitStubParams params_by_name(const std::string& name) {
+  if (name == "small") return small_params();
+  if (name == "medium") return medium_params();
+  if (name == "big") return big_params();
+  BNECK_EXPECT(false, "unknown topology preset (small|medium|big)");
+}
+
+namespace {
+
+class Builder {
+ public:
+  Builder(const TransitStubParams& p, Rng& rng) : p_(p), rng_(rng) {}
+
+  net::Network build() {
+    BNECK_EXPECT(p_.transit_domains >= 1 && p_.routers_per_transit >= 1,
+                 "transit level must be non-empty");
+    BNECK_EXPECT(p_.stubs_per_transit_router >= 0 && p_.routers_per_stub >= 1,
+                 "bad stub parameters");
+    build_transit_level();
+    build_stub_level();
+    attach_hosts();
+    net_.validate();
+    return std::move(net_);
+  }
+
+ private:
+  TimeNs router_delay() {
+    if (p_.delay_model == DelayModel::Lan) return p_.lan_delay;
+    return rng_.uniform_int(p_.wan_delay_min, p_.wan_delay_max);
+  }
+
+  /// Connects `nodes` as a ring (or single pair) plus random chords.
+  void connect_domain(const std::vector<NodeId>& nodes, Rate capacity) {
+    const auto n = static_cast<std::int32_t>(nodes.size());
+    if (n == 2) {
+      net_.add_link_pair(nodes[0], nodes[1], capacity, router_delay());
+      return;
+    }
+    for (std::int32_t i = 0; i < n && n >= 3; ++i) {
+      net_.add_link_pair(nodes[static_cast<std::size_t>(i)],
+                         nodes[static_cast<std::size_t>((i + 1) % n)],
+                         capacity, router_delay());
+    }
+    // Sparse random chords: skip ring edges and duplicates are avoided by
+    // only considering i+2..n-1 neighbours of i (upper triangle).
+    for (std::int32_t i = 0; i + 2 < n; ++i) {
+      for (std::int32_t j = i + 2; j < n; ++j) {
+        if (i == 0 && j == n - 1) continue;  // that's a ring edge
+        if (rng_.chance(p_.chord_probability)) {
+          net_.add_link_pair(nodes[static_cast<std::size_t>(i)],
+                             nodes[static_cast<std::size_t>(j)], capacity,
+                             router_delay());
+        }
+      }
+    }
+  }
+
+  void build_transit_level() {
+    transit_routers_.resize(static_cast<std::size_t>(p_.transit_domains));
+    for (std::int32_t d = 0; d < p_.transit_domains; ++d) {
+      auto& domain = transit_routers_[static_cast<std::size_t>(d)];
+      for (std::int32_t r = 0; r < p_.routers_per_transit; ++r) {
+        domain.push_back(net_.add_router());
+      }
+      connect_domain(domain, p_.transit_capacity);
+    }
+    // Inter-domain backbone: ring of domains through randomly chosen
+    // border routers (single inter-domain pair when only two domains).
+    const auto nd = p_.transit_domains;
+    for (std::int32_t d = 0; d < nd - (nd == 2 ? 1 : 0) && nd >= 2; ++d) {
+      const auto& a = transit_routers_[static_cast<std::size_t>(d)];
+      const auto& b = transit_routers_[static_cast<std::size_t>((d + 1) % nd)];
+      net_.add_link_pair(rng_.pick(a), rng_.pick(b), p_.transit_capacity,
+                         router_delay());
+    }
+  }
+
+  void build_stub_level() {
+    for (const auto& domain : transit_routers_) {
+      for (const NodeId transit_router : domain) {
+        for (std::int32_t s = 0; s < p_.stubs_per_transit_router; ++s) {
+          std::vector<NodeId> stub;
+          for (std::int32_t r = 0; r < p_.routers_per_stub; ++r) {
+            stub.push_back(net_.add_router());
+          }
+          connect_domain(stub, p_.stub_capacity);
+          // Gateway: first stub router uplinks to its transit router.
+          net_.add_link_pair(stub[0], transit_router, p_.stub_capacity,
+                             router_delay());
+          stub_routers_.insert(stub_routers_.end(), stub.begin(), stub.end());
+        }
+      }
+    }
+    // Degenerate configuration with no stub level: hosts attach to
+    // transit routers instead.
+    if (stub_routers_.empty()) {
+      for (const auto& domain : transit_routers_) {
+        stub_routers_.insert(stub_routers_.end(), domain.begin(), domain.end());
+      }
+    }
+  }
+
+  void attach_hosts() {
+    for (std::int32_t h = 0; h < p_.hosts; ++h) {
+      // Host access links always have LAN delay, as in the paper's WAN
+      // scenario ("all the links between hosts and routers are assigned
+      // 1 microsecond of propagation time").
+      net_.add_host(rng_.pick(stub_routers_), p_.host_capacity, p_.lan_delay);
+    }
+  }
+
+  const TransitStubParams& p_;
+  Rng& rng_;
+  net::Network net_;
+  std::vector<std::vector<NodeId>> transit_routers_;
+  std::vector<NodeId> stub_routers_;
+};
+
+}  // namespace
+
+net::Network make_transit_stub(const TransitStubParams& params, Rng& rng) {
+  return Builder(params, rng).build();
+}
+
+}  // namespace bneck::topo

@@ -1,0 +1,64 @@
+// gt-itm-style transit-stub Internet topologies.
+//
+// Reproduces the topology class of the paper's evaluation (§IV):
+// a two-level hierarchy of transit domains whose routers each attach stub
+// domains, with hosts hanging off stub routers.  Capacity classes follow
+// the paper: 100 Mbps host-stub links, 200 Mbps stub-stub links, 500 Mbps
+// transit links.  Two delay models: LAN (1 us everywhere) and WAN
+// (1..10 ms uniform on router links, 1 us on host links).
+//
+// Presets:
+//   Small  : 110 routers   (1 transit domain x 10 routers, 10-router stubs)
+//   Medium : 1100 routers  (10 x 10 transit, 10-router stubs)
+//   Big    : 11000 routers (10 x 100 transit, 10-router stubs)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.hpp"
+#include "net/network.hpp"
+
+namespace bneck::topo {
+
+enum class DelayModel : std::uint8_t { Lan, Wan };
+
+struct TransitStubParams {
+  std::int32_t transit_domains = 1;
+  std::int32_t routers_per_transit = 10;
+  std::int32_t stubs_per_transit_router = 1;
+  std::int32_t routers_per_stub = 10;
+  std::int32_t hosts = 0;
+
+  Rate host_capacity = 100.0;     // Mbps, host <-> stub router
+  Rate stub_capacity = 200.0;     // Mbps, stub <-> stub and stub <-> transit
+  Rate transit_capacity = 500.0;  // Mbps, transit <-> transit
+
+  DelayModel delay_model = DelayModel::Lan;
+  TimeNs lan_delay = microseconds(1);
+  TimeNs wan_delay_min = milliseconds(1);
+  TimeNs wan_delay_max = milliseconds(10);
+
+  /// Probability of each possible extra intra-domain chord beyond the
+  /// ring backbone (kept low: gt-itm defaults give sparse domains).
+  double chord_probability = 0.15;
+
+  [[nodiscard]] std::int32_t total_routers() const {
+    const std::int32_t transit = transit_domains * routers_per_transit;
+    return transit + transit * stubs_per_transit_router * routers_per_stub;
+  }
+};
+
+/// Paper presets.  `hosts` defaults to 0; set it per experiment.
+TransitStubParams small_params();
+TransitStubParams medium_params();
+TransitStubParams big_params();
+
+/// Parses "small" / "medium" / "big" (case-sensitive).
+TransitStubParams params_by_name(const std::string& name);
+
+/// Builds the topology.  Deterministic given the Rng seed.  Hosts are
+/// spread uniformly at random over stub routers.
+net::Network make_transit_stub(const TransitStubParams& params, Rng& rng);
+
+}  // namespace bneck::topo

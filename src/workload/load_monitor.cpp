@@ -1,0 +1,87 @@
+#include "workload/load_monitor.hpp"
+
+#include <algorithm>
+
+#include "base/expect.hpp"
+
+namespace bneck::workload {
+
+LinkLoadMonitor::LinkLoadMonitor(const net::Network& net)
+    : net_(net), links_(static_cast<std::size_t>(net.link_count())) {}
+
+void LinkLoadMonitor::register_session(SessionId s, const net::Path& path) {
+  const bool inserted = sessions_.try_emplace(s, path, 0.0).second;
+  BNECK_EXPECT(inserted, "session already registered");
+}
+
+void LinkLoadMonitor::apply(LinkId e, Rate delta, TimeNs t) {
+  State& st = links_[static_cast<std::size_t>(e.value())];
+  BNECK_EXPECT(t >= st.last_change, "time went backwards");
+  const Rate capacity = net_.link(e).capacity;
+  if (st.current > capacity * (1 + 1e-9)) {
+    st.overloaded_for += t - st.last_change;
+  }
+  st.last_change = t;
+  st.current += delta;
+  if (st.current < 0 && st.current > -1e-9) st.current = 0;  // rounding
+  BNECK_EXPECT(st.current >= 0, "negative link load");
+  st.peak = std::max(st.peak, st.current);
+  st.touched = true;
+}
+
+void LinkLoadMonitor::set_rate(SessionId s, Rate rate, TimeNs t) {
+  const auto it = sessions_.find(s);
+  BNECK_EXPECT(it != sessions_.end(), "set_rate for unregistered session");
+  BNECK_EXPECT(rate >= 0, "negative rate");
+  const Rate delta = rate - it->second.second;
+  if (delta == 0) return;
+  it->second.second = rate;
+  for (const LinkId e : it->second.first.links) {
+    apply(e, delta, t);
+  }
+}
+
+void LinkLoadMonitor::finalize(TimeNs t) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (!links_[i].touched) continue;
+    apply(LinkId{static_cast<std::int32_t>(i)}, 0.0, t);
+  }
+}
+
+LinkLoadMonitor::LinkLoad LinkLoadMonitor::load(LinkId e) const {
+  const State& st = links_[static_cast<std::size_t>(e.value())];
+  return LinkLoad{net_.link(e).capacity, st.current, st.peak,
+                  st.overloaded_for};
+}
+
+double LinkLoadMonitor::max_utilization() const {
+  double worst = 0;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (!links_[i].touched) continue;
+    const Rate cap = net_.link(LinkId{static_cast<std::int32_t>(i)}).capacity;
+    worst = std::max(worst, links_[i].peak / cap);
+  }
+  return worst;
+}
+
+TimeNs LinkLoadMonitor::worst_overload() const {
+  TimeNs worst = 0;
+  for (const State& st : links_) {
+    worst = std::max(worst, st.overloaded_for);
+  }
+  return worst;
+}
+
+std::vector<LinkId> LinkLoadMonitor::overloaded_links() const {
+  std::vector<LinkId> out;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const LinkId e{static_cast<std::int32_t>(i)};
+    if (links_[i].touched &&
+        links_[i].peak > net_.link(e).capacity * (1 + 1e-9)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace bneck::workload

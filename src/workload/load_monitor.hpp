@@ -1,0 +1,71 @@
+// Link load accounting from assigned rates.
+//
+// The paper argues (§I-B, Fig. 7 right) that B-Neck is network friendly:
+// its transient rate assignments are conservative, so links are never
+// driven above capacity while the allocation converges, whereas
+// RM-cell protocols like BFYZ overshoot and transiently oversubscribe
+// bottlenecks.  This monitor makes that claim measurable: it integrates
+// each link's aggregate *assigned* rate over simulated time (sessions
+// are assumed to transmit at whatever rate the protocol last granted
+// them) and reports peak utilization and time spent above capacity.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "base/rate.hpp"
+#include "base/time.hpp"
+#include "net/routing.hpp"
+
+namespace bneck::workload {
+
+class LinkLoadMonitor {
+ public:
+  explicit LinkLoadMonitor(const net::Network& net);
+
+  /// Declares a session's path; must precede set_rate for that session.
+  void register_session(SessionId s, const net::Path& path);
+
+  /// The session now transmits at `rate` (0 = stopped/left), effective
+  /// at simulated time `t`.  Times must be non-decreasing.
+  void set_rate(SessionId s, Rate rate, TimeNs t);
+
+  /// Closes all accounting intervals at time `t` (call before reading).
+  void finalize(TimeNs t);
+
+  struct LinkLoad {
+    Rate capacity = 0;
+    Rate current = 0;        // aggregate assigned rate now
+    Rate peak = 0;           // highest aggregate ever
+    TimeNs overloaded_for = 0;  // total time with load > capacity
+  };
+
+  [[nodiscard]] LinkLoad load(LinkId e) const;
+
+  /// Highest peak/capacity ratio over all links that ever carried load.
+  [[nodiscard]] double max_utilization() const;
+
+  /// Total overloaded time of the worst link.
+  [[nodiscard]] TimeNs worst_overload() const;
+
+  /// Links whose peak exceeded capacity (by more than the tolerance).
+  [[nodiscard]] std::vector<LinkId> overloaded_links() const;
+
+ private:
+  struct State {
+    Rate current = 0;
+    Rate peak = 0;
+    TimeNs last_change = 0;
+    TimeNs overloaded_for = 0;
+    bool touched = false;
+  };
+
+  void apply(LinkId e, Rate delta, TimeNs t);
+
+  const net::Network& net_;
+  std::vector<State> links_;  // per directed link
+  std::unordered_map<SessionId, std::pair<net::Path, Rate>> sessions_;
+};
+
+}  // namespace bneck::workload

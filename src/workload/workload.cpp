@@ -1,0 +1,153 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+namespace bneck::workload {
+
+std::vector<SessionPlan> generate_sessions(const net::Network& net,
+                                           const net::PathFinder& paths,
+                                           const WorkloadConfig& cfg,
+                                           Rng& rng,
+                                           std::vector<bool>& used_sources,
+                                           std::int32_t first_id) {
+  BNECK_EXPECT(cfg.sessions >= 0, "negative session count");
+  BNECK_EXPECT(net.host_count() >= 2, "need at least two hosts");
+  used_sources.resize(static_cast<std::size_t>(net.host_count()), false);
+
+  // Collect the free source pool and sample from it without replacement.
+  std::vector<std::int32_t> free_sources;
+  for (std::int32_t i = 0; i < net.host_count(); ++i) {
+    if (!used_sources[static_cast<std::size_t>(i)]) free_sources.push_back(i);
+  }
+  BNECK_EXPECT(static_cast<std::int32_t>(free_sources.size()) >= cfg.sessions,
+               "not enough unused source hosts");
+  rng.shuffle(free_sources);
+
+  std::vector<SessionPlan> plans;
+  plans.reserve(static_cast<std::size_t>(cfg.sessions));
+  for (std::int32_t k = 0; k < cfg.sessions; ++k) {
+    const std::int32_t src_idx = free_sources[static_cast<std::size_t>(k)];
+    used_sources[static_cast<std::size_t>(src_idx)] = true;
+    const NodeId src = net.hosts()[static_cast<std::size_t>(src_idx)];
+    // Destination: any other host (it may source its own session).
+    NodeId dst = src;
+    std::optional<net::Path> path;
+    while (!path.has_value()) {
+      do {
+        dst = net.hosts()[static_cast<std::size_t>(
+            rng.uniform_int(0, net.host_count() - 1))];
+      } while (dst == src);
+      path = paths.shortest_path(src, dst);  // retry if disconnected
+    }
+    SessionPlan plan;
+    plan.id = SessionId{first_id + k};
+    plan.path = std::move(*path);
+    plan.demand = rng.chance(cfg.demand_fraction)
+                      ? rng.uniform_real(cfg.demand_min, cfg.demand_max)
+                      : kRateInfinity;
+    plan.join_at = cfg.window_start +
+                   rng.uniform_int(0, std::max<TimeNs>(0, cfg.join_window - 1));
+    plan.source_host_index = src_idx;
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+std::vector<SessionPlan> generate_sessions(const net::Network& net,
+                                           const net::PathFinder& paths,
+                                           const WorkloadConfig& cfg,
+                                           Rng& rng) {
+  std::vector<bool> used;
+  return generate_sessions(net, paths, cfg, rng, used, 0);
+}
+
+void schedule_joins(sim::Simulator& sim, proto::FairShareProtocol& protocol,
+                    const std::vector<SessionPlan>& plans) {
+  for (const SessionPlan& plan : plans) {
+    sim.schedule_at(plan.join_at, [&protocol, plan] {
+      protocol.join(plan.id, plan.path, plan.demand);
+    });
+  }
+}
+
+std::vector<SessionPlan> generate_poisson_churn(const net::Network& net,
+                                                const net::PathFinder& paths,
+                                                const ChurnConfig& cfg,
+                                                Rng& rng) {
+  BNECK_EXPECT(cfg.arrivals_per_ms > 0, "arrival rate must be positive");
+  BNECK_EXPECT(cfg.mean_lifetime > 0, "mean lifetime must be positive");
+  BNECK_EXPECT(net.host_count() >= 2, "need at least two hosts");
+
+  // Track per-host occupancy with a min-heap of (release time, host).
+  std::vector<std::int32_t> free_hosts;
+  for (std::int32_t i = 0; i < net.host_count(); ++i) free_hosts.push_back(i);
+  using Busy = std::pair<TimeNs, std::int32_t>;
+  std::priority_queue<Busy, std::vector<Busy>, std::greater<>> busy;
+
+  std::vector<SessionPlan> plans;
+  std::int32_t next_id = 0;
+  TimeNs clock = 0;
+  const double mean_gap_ns = 1e6 / cfg.arrivals_per_ms;
+  while (true) {
+    clock += static_cast<TimeNs>(rng.exponential(mean_gap_ns)) + 1;
+    if (clock >= cfg.horizon) break;
+    while (!busy.empty() && busy.top().first <= clock) {
+      free_hosts.push_back(busy.top().second);
+      busy.pop();
+    }
+    if (free_hosts.empty()) continue;  // all hosts busy: arrival dropped
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(free_hosts.size()) - 1));
+    const std::int32_t src_idx = free_hosts[pick];
+    free_hosts[pick] = free_hosts.back();
+    free_hosts.pop_back();
+
+    const NodeId src = net.hosts()[static_cast<std::size_t>(src_idx)];
+    NodeId dst = src;
+    std::optional<net::Path> path;
+    while (!path.has_value()) {
+      do {
+        dst = net.hosts()[static_cast<std::size_t>(
+            rng.uniform_int(0, net.host_count() - 1))];
+      } while (dst == src);
+      path = paths.shortest_path(src, dst);
+    }
+
+    SessionPlan plan;
+    plan.id = SessionId{next_id++};
+    plan.path = std::move(*path);
+    plan.demand = rng.chance(cfg.demand_fraction)
+                      ? rng.uniform_real(cfg.demand_min, cfg.demand_max)
+                      : kRateInfinity;
+    plan.join_at = clock;
+    plan.source_host_index = src_idx;
+    const TimeNs lifetime = static_cast<TimeNs>(rng.exponential(
+                                static_cast<double>(cfg.mean_lifetime))) +
+                            1;
+    const TimeNs depart = clock + lifetime;
+    if (depart < cfg.horizon) {
+      plan.leave_at = depart;
+      busy.push({depart, src_idx});
+    } else {
+      plan.leave_at = kTimeNever;  // stays past the end of the run
+      busy.push({kTimeNever, src_idx});
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+void schedule_churn(sim::Simulator& sim, proto::FairShareProtocol& protocol,
+                    const std::vector<SessionPlan>& plans) {
+  schedule_joins(sim, protocol, plans);
+  for (const SessionPlan& plan : plans) {
+    if (plan.leave_at == kTimeNever) continue;
+    BNECK_EXPECT(plan.leave_at > plan.join_at, "leave precedes join");
+    sim.schedule_at(plan.leave_at,
+                    [&protocol, id = plan.id] { protocol.leave(id); });
+  }
+}
+
+}  // namespace bneck::workload

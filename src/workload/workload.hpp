@@ -1,0 +1,89 @@
+// Workload generation: random session populations over a network.
+//
+// Follows the paper's experimental setup (§IV): sessions pick a source
+// and a destination host uniformly at random (each host sources at most
+// one session, per the model of §II), paths are shortest paths, join
+// times are uniform in a window (1 ms in Experiments 1 and 2).
+#pragma once
+
+#include <vector>
+
+#include "base/rng.hpp"
+#include "core/session.hpp"
+#include "net/routing.hpp"
+#include "proto/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace bneck::workload {
+
+struct SessionPlan {
+  SessionId id;
+  net::Path path;
+  Rate demand = kRateInfinity;
+  TimeNs join_at = 0;
+  /// Departure time for open-system (churn) workloads; kTimeNever for
+  /// sessions that stay.
+  TimeNs leave_at = kTimeNever;
+  /// Index of the source host in Network::hosts() (for source reuse
+  /// bookkeeping when sessions leave).
+  std::int32_t source_host_index = -1;
+};
+
+struct WorkloadConfig {
+  std::int32_t sessions = 0;
+  /// Joins are uniform in [window_start, window_start + join_window).
+  TimeNs window_start = 0;
+  TimeNs join_window = milliseconds(1);
+  /// Fraction of sessions with a finite maximum-rate request.
+  double demand_fraction = 0.0;
+  Rate demand_min = 1.0;
+  Rate demand_max = 120.0;
+};
+
+/// Generates `cfg.sessions` session plans.  Source hosts are sampled
+/// without replacement from hosts *not* in `used_sources` (which is
+/// updated); destinations are any other host.  Ids are allocated from
+/// `first_id` upwards.
+std::vector<SessionPlan> generate_sessions(const net::Network& net,
+                                           const net::PathFinder& paths,
+                                           const WorkloadConfig& cfg,
+                                           Rng& rng,
+                                           std::vector<bool>& used_sources,
+                                           std::int32_t first_id);
+
+/// Convenience overload for a fresh network (no sources used yet).
+std::vector<SessionPlan> generate_sessions(const net::Network& net,
+                                           const net::PathFinder& paths,
+                                           const WorkloadConfig& cfg,
+                                           Rng& rng);
+
+/// Schedules every plan's join on the simulator.
+void schedule_joins(sim::Simulator& sim, proto::FairShareProtocol& protocol,
+                    const std::vector<SessionPlan>& plans);
+
+/// Open-system churn: sessions arrive as a Poisson process and hold for
+/// exponential lifetimes, the classic steady-state traffic model.  The
+/// generator respects source-host exclusivity over time (a host is busy
+/// from its session's join until its leave; arrivals with no free host
+/// are dropped).
+struct ChurnConfig {
+  double arrivals_per_ms = 1.0;
+  TimeNs mean_lifetime = milliseconds(20);
+  TimeNs horizon = milliseconds(100);
+  double demand_fraction = 0.0;
+  Rate demand_min = 1.0;
+  Rate demand_max = 120.0;
+};
+
+/// Plans with both join_at and leave_at set (leave_at capped at the
+/// horizon counts as "stays past the end": kTimeNever).
+std::vector<SessionPlan> generate_poisson_churn(const net::Network& net,
+                                                const net::PathFinder& paths,
+                                                const ChurnConfig& cfg,
+                                                Rng& rng);
+
+/// Schedules joins and (finite) leaves of churn plans.
+void schedule_churn(sim::Simulator& sim, proto::FairShareProtocol& protocol,
+                    const std::vector<SessionPlan>& plans);
+
+}  // namespace bneck::workload

@@ -1,0 +1,251 @@
+// Tests for the go-back-N reliable link layer and for B-Neck over lossy
+// links (fault injection).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/arq.hpp"
+#include "core/bneck.hpp"
+#include "core/maxmin.hpp"
+#include "net/routing.hpp"
+#include "topo/canonical.hpp"
+
+namespace bneck::core {
+namespace {
+
+// Unit harness: one ArqChannel over two FIFO channels with fixed delays.
+struct ArqHarness {
+  explicit ArqHarness(ArqConfig cfg = {}, std::uint64_t seed = 1)
+      : channel(sim, data, ack, /*data_tx=*/100, /*data_prop=*/1000,
+                /*ack_tx=*/100, /*ack_prop=*/1000, cfg, Rng(seed),
+                [this](const Packet& p) { delivered.push_back(p.session); },
+                [this](const Packet&) { ++wire_sends; }) {}
+
+  Packet packet(int id) {
+    Packet p;
+    p.type = PacketType::Update;
+    p.session = SessionId{id};
+    return p;
+  }
+
+  sim::Simulator sim;
+  sim::FifoChannel data, ack;
+  std::vector<SessionId> delivered;
+  std::uint64_t wire_sends = 0;
+  ArqChannel channel;
+};
+
+TEST(Arq, DeliversInOrderWithoutLoss) {
+  ArqHarness h;
+  for (int i = 0; i < 10; ++i) h.channel.send(h.packet(i));
+  h.sim.run_until_idle();
+  ASSERT_EQ(h.delivered.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(h.delivered[static_cast<std::size_t>(i)], SessionId{i});
+  EXPECT_EQ(h.channel.retransmissions(), 0u);
+  EXPECT_TRUE(h.channel.idle());
+}
+
+TEST(Arq, NoTrafficWhenNothingToSend) {
+  ArqHarness h;
+  h.sim.run_until_idle();
+  EXPECT_EQ(h.wire_sends, 0u);
+  EXPECT_EQ(h.channel.acks_sent(), 0u);
+}
+
+TEST(Arq, WindowLimitsOutstandingData) {
+  ArqConfig cfg;
+  cfg.window = 4;
+  ArqHarness h(cfg);
+  for (int i = 0; i < 12; ++i) h.channel.send(h.packet(i));
+  // Before any ack returns, only the window's worth is on the wire.
+  EXPECT_EQ(h.wire_sends, 4u);
+  h.sim.run_until_idle();
+  EXPECT_EQ(h.delivered.size(), 12u);
+}
+
+TEST(Arq, RecoversFromHeavyDataLoss) {
+  ArqConfig cfg;
+  cfg.loss_probability = 0.4;
+  ArqHarness h(cfg, /*seed=*/7);
+  for (int i = 0; i < 50; ++i) h.channel.send(h.packet(i));
+  h.sim.run_until_idle();
+  ASSERT_EQ(h.delivered.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(h.delivered[static_cast<std::size_t>(i)], SessionId{i});
+  EXPECT_GT(h.channel.retransmissions(), 0u);
+  EXPECT_GT(h.channel.losses(), 0u);
+  EXPECT_TRUE(h.channel.idle());
+}
+
+TEST(Arq, ExactlyOnceUnderLoss) {
+  // Duplicates from retransmission must never reach the application.
+  ArqConfig cfg;
+  cfg.loss_probability = 0.3;
+  cfg.window = 8;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ArqHarness h(cfg, seed);
+    for (int i = 0; i < 30; ++i) h.channel.send(h.packet(i));
+    h.sim.run_until_idle();
+    ASSERT_EQ(h.delivered.size(), 30u) << "seed " << seed;
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(h.delivered[static_cast<std::size_t>(i)], SessionId{i})
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Arq, SurvivesAckLossOnly) {
+  // Loss hits acks as well as data; cumulative acks repair it.
+  ArqConfig cfg;
+  cfg.loss_probability = 0.5;
+  ArqHarness h(cfg, 99);
+  for (int i = 0; i < 20; ++i) h.channel.send(h.packet(i));
+  h.sim.run_until_idle();
+  EXPECT_EQ(h.delivered.size(), 20u);
+  EXPECT_TRUE(h.channel.idle());
+}
+
+TEST(Arq, StopAndWaitWindowOne) {
+  ArqConfig cfg;
+  cfg.window = 1;
+  cfg.loss_probability = 0.25;
+  ArqHarness h(cfg, 5);
+  for (int i = 0; i < 15; ++i) h.channel.send(h.packet(i));
+  h.sim.run_until_idle();
+  ASSERT_EQ(h.delivered.size(), 15u);
+  for (int i = 0; i < 15; ++i) EXPECT_EQ(h.delivered[static_cast<std::size_t>(i)], SessionId{i});
+}
+
+TEST(Arq, InvalidConfigRejected) {
+  ArqConfig cfg;
+  cfg.window = 0;
+  EXPECT_THROW(ArqHarness h(cfg), InvariantError);
+  ArqConfig cfg2;
+  cfg2.loss_probability = 1.0;
+  EXPECT_THROW(ArqHarness h2(cfg2), InvariantError);
+}
+
+// ---- B-Neck end-to-end over lossy links ----
+
+void run_lossy_bneck(double loss, bool reliable, std::uint64_t seed,
+                     bool expect_exact) {
+  const auto n = topo::make_dumbbell(4, 100.0);
+  const net::PathFinder paths(n);
+  sim::Simulator sim;
+  BneckConfig cfg;
+  cfg.loss_probability = loss;
+  cfg.reliable_links = reliable;
+  cfg.loss_seed = seed;
+  BneckProtocol bneck(sim, n, cfg);
+  for (int i = 0; i < 4; ++i) {
+    bneck.join(SessionId{i},
+               *paths.shortest_path(n.hosts()[static_cast<std::size_t>(i)],
+                                    n.hosts()[static_cast<std::size_t>(i + 4)]),
+               kRateInfinity);
+  }
+  sim.run_until_idle();  // must terminate either way
+  const auto specs = bneck.active_specs();
+  const auto sol = solve_waterfill(n, specs);
+  bool all_exact = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto got = bneck.notified_rate(specs[i].id);
+    if (!got.has_value() || std::abs(*got - sol.rates[i]) > 1e-6) {
+      all_exact = false;
+    }
+  }
+  if (expect_exact) {
+    EXPECT_TRUE(all_exact) << "loss=" << loss << " reliable=" << reliable
+                           << " seed=" << seed;
+    EXPECT_TRUE(bneck.all_tasks_stable());
+  } else {
+    EXPECT_FALSE(all_exact) << "expected the lossy run to break";
+  }
+}
+
+TEST(BneckLossy, ReliableLinksZeroLossMatchesBaseline) {
+  run_lossy_bneck(0.0, true, 1, /*expect_exact=*/true);
+}
+
+TEST(BneckLossy, ArqMasksTenPercentLoss) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    run_lossy_bneck(0.10, true, seed, /*expect_exact=*/true);
+  }
+}
+
+TEST(BneckLossy, ArqMasksThirtyPercentLoss) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    run_lossy_bneck(0.30, true, seed, /*expect_exact=*/true);
+  }
+}
+
+TEST(BneckLossy, WithoutArqLossBreaksTheProtocol) {
+  // The paper's reliability assumption made concrete: with 40% loss and
+  // no retransmission the computation wedges (the run still terminates —
+  // nothing retransmits — but rates are missing or stale).
+  run_lossy_bneck(0.40, false, 3, /*expect_exact=*/false);
+}
+
+TEST(BneckLossy, RetransmissionsAreCountedAndBounded) {
+  const auto n = topo::make_dumbbell(2, 100.0);
+  const net::PathFinder paths(n);
+  sim::Simulator sim;
+  BneckConfig cfg;
+  cfg.loss_probability = 0.2;
+  cfg.reliable_links = true;
+  BneckProtocol bneck(sim, n, cfg);
+  bneck.join(SessionId{0}, *paths.shortest_path(n.hosts()[0], n.hosts()[2]),
+             kRateInfinity);
+  bneck.join(SessionId{1}, *paths.shortest_path(n.hosts()[1], n.hosts()[3]),
+             kRateInfinity);
+  sim.run_until_idle();
+  EXPECT_GT(bneck.retransmissions(), 0u);
+  // Total traffic stays within a small factor of the loss-free run.
+  EXPECT_LT(bneck.packets_sent(), 2000u);
+  EXPECT_NEAR(*bneck.notified_rate(SessionId{0}), 50.0, 1e-6);
+}
+
+TEST(BneckLossy, QuiescentAfterArqDrains) {
+  const auto n = topo::make_dumbbell(2, 100.0);
+  const net::PathFinder paths(n);
+  sim::Simulator sim;
+  BneckConfig cfg;
+  cfg.loss_probability = 0.15;
+  cfg.reliable_links = true;
+  BneckProtocol bneck(sim, n, cfg);
+  bneck.join(SessionId{0}, *paths.shortest_path(n.hosts()[0], n.hosts()[2]),
+             kRateInfinity);
+  bneck.join(SessionId{1}, *paths.shortest_path(n.hosts()[1], n.hosts()[3]),
+             kRateInfinity);
+  sim.run_until_idle();
+  const auto sent = bneck.packets_sent();
+  sim.run_until(sim.now() + seconds(5));
+  EXPECT_EQ(bneck.packets_sent(), sent);  // quiescent, ARQ included
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(BneckLossy, DynamicsSurviveLoss) {
+  const auto n = topo::make_dumbbell(6, 120.0);
+  const net::PathFinder paths(n);
+  sim::Simulator sim;
+  BneckConfig cfg;
+  cfg.loss_probability = 0.15;
+  cfg.reliable_links = true;
+  BneckProtocol bneck(sim, n, cfg);
+  for (int i = 0; i < 6; ++i) {
+    auto path = *paths.shortest_path(n.hosts()[static_cast<std::size_t>(i)],
+                                     n.hosts()[static_cast<std::size_t>(i + 6)]);
+    sim.schedule_at(microseconds(i * 50), [&bneck, i, path] {
+      bneck.join(SessionId{i}, path, kRateInfinity);
+    });
+  }
+  sim.schedule_at(milliseconds(2), [&bneck] { bneck.leave(SessionId{0}); });
+  sim.schedule_at(milliseconds(2), [&bneck] { bneck.change(SessionId{1}, 5.0); });
+  sim.run_until_idle();
+  const auto specs = bneck.active_specs();
+  const auto sol = solve_waterfill(n, specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_NEAR(*bneck.notified_rate(specs[i].id), sol.rates[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace bneck::core

@@ -1,0 +1,234 @@
+// Tests for the base module: strong ids, time, tolerant rate comparison,
+// deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "base/expect.hpp"
+#include "base/ids.hpp"
+#include "base/rate.hpp"
+#include "base/rng.hpp"
+#include "base/time.hpp"
+
+namespace bneck {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  SessionId s;
+  EXPECT_FALSE(s.valid());
+  EXPECT_EQ(s.value(), -1);
+}
+
+TEST(Ids, ComparisonAndOrdering) {
+  NodeId a{1}, b{2}, c{1};
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, c);
+  EXPECT_GT(b, a);
+  EXPECT_GE(c, a);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<LinkId> set;
+  set.insert(LinkId{3});
+  set.insert(LinkId{3});
+  set.insert(LinkId{4});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, LinkId>);
+  static_assert(!std::is_same_v<SessionId, LinkId>);
+}
+
+TEST(Time, UnitHelpers) {
+  EXPECT_EQ(microseconds(1), 1'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(2), 2'000'000'000);
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_millis(milliseconds(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_micros(microseconds(7)), 7.0);
+}
+
+TEST(Time, Format) {
+  EXPECT_EQ(format_time(nanoseconds(5)), "5ns");
+  EXPECT_EQ(format_time(microseconds(2)), "2.000us");
+  EXPECT_EQ(format_time(milliseconds(3)), "3.000ms");
+  EXPECT_EQ(format_time(seconds(1)), "1.000s");
+}
+
+TEST(Rate, ExactEquality) {
+  EXPECT_TRUE(rate_eq(10.0, 10.0));
+  EXPECT_TRUE(rate_eq(kRateInfinity, kRateInfinity));
+  EXPECT_FALSE(rate_eq(kRateInfinity, 10.0));
+  EXPECT_FALSE(rate_eq(10.0, 11.0));
+}
+
+TEST(Rate, RelativeTolerance) {
+  // One part in 1e12 at scale 100: well inside the default 1e-9 window.
+  EXPECT_TRUE(rate_eq(100.0, 100.0 + 1e-10));
+  EXPECT_FALSE(rate_eq(100.0, 100.0 + 1e-5));
+  // Large magnitudes scale the window.
+  EXPECT_TRUE(rate_eq(1e9, 1e9 * (1 + 1e-10)));
+}
+
+TEST(Rate, StrictComparisons) {
+  EXPECT_TRUE(rate_lt(1.0, 2.0));
+  EXPECT_FALSE(rate_lt(2.0, 1.0));
+  EXPECT_FALSE(rate_lt(100.0, 100.0 + 1e-10));  // equal within eps
+  EXPECT_TRUE(rate_gt(2.0, 1.0));
+  EXPECT_FALSE(rate_gt(100.0 + 1e-10, 100.0));
+}
+
+TEST(Rate, WeakComparisons) {
+  EXPECT_TRUE(rate_le(1.0, 2.0));
+  EXPECT_TRUE(rate_le(100.0 + 1e-10, 100.0));
+  EXPECT_FALSE(rate_le(2.0, 1.0));
+  EXPECT_TRUE(rate_ge(2.0, 1.0));
+  EXPECT_TRUE(rate_ge(100.0, 100.0 + 1e-10));
+  EXPECT_FALSE(rate_ge(1.0, 2.0));
+}
+
+TEST(Rate, WaterFillingArithmeticSurvivesReordering) {
+  // The exact situation the tolerance exists for: the same bottleneck
+  // rate computed as capacity minus a sum accumulated in two different
+  // orders must still compare equal.
+  const double a = 100.0 / 3.0, b = 100.0 / 7.0, c = 100.0 / 11.0;
+  const double s1 = ((a + b) + c);
+  const double s2 = ((c + b) + a);
+  EXPECT_TRUE(rate_eq((500.0 - s1) / 7.0, (500.0 - s2) / 7.0));
+}
+
+TEST(Rate, Format) {
+  EXPECT_EQ(format_rate(12.5), "12.50 Mbps");
+  EXPECT_EQ(format_rate(kRateInfinity), "inf");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(-3, 4);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 4);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(0.25, 0.75);
+    EXPECT_GE(x, 0.25);
+    EXPECT_LT(x, 0.75);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, PickFromVector) {
+  Rng rng(3);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(11);
+  Rng child = parent.fork();
+  // Child draws must not disturb the parent stream.
+  Rng parent2(11);
+  (void)parent2.fork();
+  for (int i = 0; i < 10; ++i) (void)child.uniform_int(0, 100);
+  EXPECT_EQ(parent.uniform_int(0, 1'000'000),
+            parent2.uniform_int(0, 1'000'000));
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.exponential(4.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000, 4.0, 0.2);
+  EXPECT_THROW(rng.exponential(0.0), InvariantError);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, SampleDistinctSparse) {
+  Rng rng(13);
+  const auto s = sample_distinct(rng, 1'000'000, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<std::int32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleDistinctDense) {
+  Rng rng(13);
+  const auto s = sample_distinct(rng, 10, 10);
+  std::set<std::int32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  EXPECT_EQ(*uniq.begin(), 0);
+  EXPECT_EQ(*uniq.rbegin(), 9);
+}
+
+TEST(Rng, SampleDistinctEmpty) {
+  Rng rng(1);
+  EXPECT_TRUE(sample_distinct(rng, 5, 0).empty());
+}
+
+TEST(Expect, ThrowsInvariantError) {
+  EXPECT_THROW(BNECK_EXPECT(false, "boom"), InvariantError);
+  EXPECT_NO_THROW(BNECK_EXPECT(true, "fine"));
+}
+
+TEST(Expect, MessageContainsContext) {
+  try {
+    BNECK_EXPECT(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("math broke"), std::string::npos);
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bneck

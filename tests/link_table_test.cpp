@@ -1,0 +1,318 @@
+// Tests for LinkSessionTable, the indexed per-link state of RouterLink.
+// Every protocol predicate (Be, bottleneck condition, ProcessNewRestricted
+// queries, Update triggers) is exercised directly here, so protocol-level
+// failures can be localized.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/link_table.hpp"
+
+namespace bneck::core {
+namespace {
+
+SessionId S(int i) { return SessionId{i}; }
+
+TEST(LinkTable, EmptyTable) {
+  LinkSessionTable t(100.0);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.r_size(), 0u);
+  EXPECT_EQ(t.f_size(), 0u);
+  EXPECT_TRUE(std::isinf(t.be()));
+  EXPECT_FALSE(t.contains(S(1)));
+  EXPECT_FALSE(t.all_R_idle_at_be());
+  EXPECT_FALSE(t.exists_F_ge_be());
+  EXPECT_TRUE(t.stable());
+}
+
+TEST(LinkTable, NonPositiveCapacityThrows) {
+  EXPECT_THROW(LinkSessionTable(0.0), InvariantError);
+  EXPECT_THROW(LinkSessionTable(-1.0), InvariantError);
+}
+
+TEST(LinkTable, InsertStartsWaitingResponseInR) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 3);
+  EXPECT_TRUE(t.contains(S(1)));
+  EXPECT_TRUE(t.in_R(S(1)));
+  EXPECT_EQ(t.mu(S(1)), Mu::WaitingResponse);
+  EXPECT_EQ(t.hop(S(1)), 3);
+  EXPECT_EQ(t.r_size(), 1u);
+  EXPECT_DOUBLE_EQ(t.be(), 100.0);
+}
+
+TEST(LinkTable, DuplicateInsertThrows) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  EXPECT_THROW(t.insert_R(S(1), 0), InvariantError);
+}
+
+TEST(LinkTable, BeSplitsCapacityAcrossR) {
+  LinkSessionTable t(100.0);
+  for (int i = 0; i < 4; ++i) t.insert_R(S(i), 0);
+  EXPECT_DOUBLE_EQ(t.be(), 25.0);
+}
+
+TEST(LinkTable, BeDiscountsFrozenSessions) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  t.set_idle_with_lambda(S(1), 10.0);
+  t.move_to_F(S(1));
+  // Fe = {s1@10}, Re = {s2}: Be = (100-10)/1.
+  EXPECT_DOUBLE_EQ(t.be(), 90.0);
+  EXPECT_EQ(t.f_size(), 1u);
+  EXPECT_EQ(t.r_size(), 1u);
+}
+
+TEST(LinkTable, EraseFromR) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  t.erase(S(1));
+  EXPECT_FALSE(t.contains(S(1)));
+  EXPECT_DOUBLE_EQ(t.be(), 100.0);
+}
+
+TEST(LinkTable, EraseFromF) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  t.set_idle_with_lambda(S(1), 20.0);
+  t.move_to_F(S(1));
+  t.erase(S(1));
+  EXPECT_DOUBLE_EQ(t.be(), 100.0);
+  EXPECT_EQ(t.f_size(), 0u);
+}
+
+TEST(LinkTable, EraseUnknownThrows) {
+  LinkSessionTable t(100.0);
+  EXPECT_THROW(t.erase(S(9)), InvariantError);
+}
+
+TEST(LinkTable, MoveRoundTripPreservesLambdaAndMu) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  t.set_idle_with_lambda(S(1), 12.5);
+  t.move_to_F(S(1));
+  EXPECT_FALSE(t.in_R(S(1)));
+  EXPECT_DOUBLE_EQ(t.lambda(S(1)), 12.5);
+  EXPECT_EQ(t.mu(S(1)), Mu::Idle);
+  t.move_to_R(S(1));
+  EXPECT_TRUE(t.in_R(S(1)));
+  EXPECT_DOUBLE_EQ(t.lambda(S(1)), 12.5);
+  EXPECT_EQ(t.mu(S(1)), Mu::Idle);
+}
+
+TEST(LinkTable, MoveToFRequiresR) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.set_idle_with_lambda(S(1), 10.0);
+  t.move_to_F(S(1));
+  EXPECT_THROW(t.move_to_F(S(1)), InvariantError);
+}
+
+TEST(LinkTable, MoveToRRequiresF) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  EXPECT_THROW(t.move_to_R(S(1)), InvariantError);
+}
+
+TEST(LinkTable, AllRIdleAtBe) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  EXPECT_FALSE(t.all_R_idle_at_be());  // both waiting
+  t.set_idle_with_lambda(S(1), 50.0);
+  EXPECT_FALSE(t.all_R_idle_at_be());  // s2 still waiting
+  t.set_idle_with_lambda(S(2), 50.0);
+  EXPECT_TRUE(t.all_R_idle_at_be());   // both idle at Be=50
+}
+
+TEST(LinkTable, AllRIdleAtBeRejectsWrongRate) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  t.set_idle_with_lambda(S(1), 50.0);
+  t.set_idle_with_lambda(S(2), 40.0);  // below Be
+  EXPECT_FALSE(t.all_R_idle_at_be());
+}
+
+TEST(LinkTable, AllRIdleAtBeToleratesRounding) {
+  LinkSessionTable t(100.0);
+  for (int i = 0; i < 3; ++i) t.insert_R(S(i), 0);
+  const Rate third = 100.0 / 3.0;
+  for (int i = 0; i < 3; ++i) t.set_idle_with_lambda(S(i), third);
+  EXPECT_TRUE(t.all_R_idle_at_be());
+}
+
+TEST(LinkTable, ExistsFGeBe) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  t.set_idle_with_lambda(S(2), 30.0);
+  t.move_to_F(S(2));
+  // Be = 70; F has 30 -> no.
+  EXPECT_FALSE(t.exists_F_ge_be());
+  t.erase(S(1));
+  // Re empty: Be = inf -> no F >= Be.
+  EXPECT_FALSE(t.exists_F_ge_be());
+}
+
+TEST(LinkTable, ExistsFGeBeTriggersWhenBeDrops) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  t.set_idle_with_lambda(S(2), 45.0);
+  t.move_to_F(S(2));      // Be = (100-45)/1 = 55
+  EXPECT_FALSE(t.exists_F_ge_be());
+  // Two more sessions join: Be = (100-45)/3 = 18.3 < 45.
+  t.insert_R(S(3), 0);
+  t.insert_R(S(4), 0);
+  EXPECT_TRUE(t.exists_F_ge_be());
+  EXPECT_DOUBLE_EQ(t.max_F_lambda(), 45.0);
+  EXPECT_EQ(t.F_at(45.0), (std::vector<SessionId>{S(2)}));
+}
+
+TEST(LinkTable, MaxFLambdaOnEmptyThrows) {
+  LinkSessionTable t(100.0);
+  EXPECT_THROW((void)t.max_F_lambda(), InvariantError);
+}
+
+TEST(LinkTable, FAtGroupsEqualRates) {
+  LinkSessionTable t(100.0);
+  for (int i = 1; i <= 4; ++i) {
+    t.insert_R(S(i), 0);
+  }
+  t.set_idle_with_lambda(S(1), 10.0);
+  t.set_idle_with_lambda(S(2), 10.0);
+  t.set_idle_with_lambda(S(3), 20.0);
+  t.move_to_F(S(1));
+  t.move_to_F(S(2));
+  t.move_to_F(S(3));
+  auto at10 = t.F_at(10.0);
+  std::sort(at10.begin(), at10.end());
+  EXPECT_EQ(at10, (std::vector<SessionId>{S(1), S(2)}));
+  EXPECT_EQ(t.F_at(20.0), (std::vector<SessionId>{S(3)}));
+  EXPECT_TRUE(t.F_at(15.0).empty());
+}
+
+TEST(LinkTable, IdleRAboveFindsOnlyStrictlyAbove) {
+  LinkSessionTable t(100.0);
+  for (int i = 1; i <= 3; ++i) t.insert_R(S(i), 0);
+  t.set_idle_with_lambda(S(1), 40.0);
+  t.set_idle_with_lambda(S(2), 33.0);
+  // s3 still waiting; Be = 100/3.
+  const auto above = t.idle_R_above(t.be());
+  EXPECT_EQ(above, (std::vector<SessionId>{S(1)}));
+}
+
+TEST(LinkTable, IdleRAboveIgnoresNonIdle) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  t.set_idle_with_lambda(S(1), 90.0);
+  t.set_mu(S(1), Mu::WaitingProbe);  // no longer idle
+  EXPECT_TRUE(t.idle_R_above(10.0).empty());
+}
+
+TEST(LinkTable, IdleRAtExcludesAndMatches) {
+  LinkSessionTable t(100.0);
+  for (int i = 1; i <= 3; ++i) t.insert_R(S(i), 0);
+  t.set_idle_with_lambda(S(1), 25.0);
+  t.set_idle_with_lambda(S(2), 25.0);
+  t.set_idle_with_lambda(S(3), 50.0);
+  auto at = t.idle_R_at(25.0);
+  std::sort(at.begin(), at.end());
+  EXPECT_EQ(at, (std::vector<SessionId>{S(1), S(2)}));
+  EXPECT_EQ(t.idle_R_at(25.0, S(1)), (std::vector<SessionId>{S(2)}));
+  EXPECT_TRUE(t.idle_R_at(99.0).empty());
+}
+
+TEST(LinkTable, IdleRAllExcludes) {
+  LinkSessionTable t(100.0);
+  for (int i = 1; i <= 3; ++i) t.insert_R(S(i), 0);
+  for (int i = 1; i <= 3; ++i) t.set_idle_with_lambda(S(i), 10.0 * i);
+  auto all = t.idle_R_all(S(2));
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<SessionId>{S(1), S(3)}));
+}
+
+TEST(LinkTable, SetMuMovesInAndOutOfIdleIndex) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.set_idle_with_lambda(S(1), 100.0);
+  EXPECT_EQ(t.idle_R_at(100.0).size(), 1u);
+  t.set_mu(S(1), Mu::WaitingProbe);
+  EXPECT_TRUE(t.idle_R_at(100.0).empty());
+  t.set_mu(S(1), Mu::Idle);  // lambda retained
+  EXPECT_EQ(t.idle_R_at(100.0).size(), 1u);
+}
+
+TEST(LinkTable, StabilityDefinition) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  EXPECT_FALSE(t.stable());  // waiting sessions
+  t.set_idle_with_lambda(S(1), 50.0);
+  t.set_idle_with_lambda(S(2), 50.0);
+  EXPECT_TRUE(t.stable());
+  // An F session must sit strictly below Be for stability.
+  t.insert_R(S(3), 0);
+  t.set_idle_with_lambda(S(3), 30.0);
+  t.move_to_F(S(3));
+  // Now Be = (100-30)/2 = 35 but R rates are 50: unstable.
+  EXPECT_FALSE(t.stable());
+}
+
+TEST(LinkTable, StableWithEmptyRAndFrozenSessions) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.set_idle_with_lambda(S(1), 40.0);
+  t.move_to_F(S(1));
+  // Re empty: the Fe < Be condition is waived (Definition 2).
+  EXPECT_TRUE(t.stable());
+}
+
+TEST(LinkTable, ForEachVisitsAll) {
+  LinkSessionTable t(100.0);
+  t.insert_R(S(1), 0);
+  t.insert_R(S(2), 0);
+  t.set_idle_with_lambda(S(2), 50.0);
+  t.move_to_F(S(2));
+  int count = 0;
+  t.for_each([&](SessionId, bool, Mu, Rate) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(LinkTable, ManySessionsKeepAggregatesConsistent) {
+  // Stress the running Fe sum and the indexes through a long random-ish
+  // mutation sequence; verify against a brute-force recomputation.
+  LinkSessionTable t(1000.0);
+  std::vector<int> in_f;
+  for (int i = 0; i < 200; ++i) {
+    t.insert_R(S(i), 0);
+    t.set_idle_with_lambda(S(i), 1.0 + (i % 7));
+    if (i % 3 == 0) {
+      t.move_to_F(S(i));
+      in_f.push_back(i);
+    }
+  }
+  // Brute-force Be.
+  double fsum = 0;
+  for (const int i : in_f) fsum += 1.0 + (i % 7);
+  const double want_be = (1000.0 - fsum) / static_cast<double>(200 - in_f.size());
+  EXPECT_NEAR(t.be(), want_be, 1e-9);
+  // Erase every other F session and re-check.
+  for (std::size_t k = 0; k < in_f.size(); k += 2) {
+    t.erase(S(in_f[k]));
+    fsum -= 1.0 + (in_f[k] % 7);
+  }
+  const double want_be2 =
+      (1000.0 - fsum) / static_cast<double>(200 - in_f.size());
+  EXPECT_NEAR(t.be(), want_be2, 1e-9);
+}
+
+}  // namespace
+}  // namespace bneck::core

@@ -1,0 +1,267 @@
+// Tests for the network graph and shortest-path routing.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/routing.hpp"
+
+namespace bneck::net {
+namespace {
+
+TEST(Network, AddRouterAndHostCounts) {
+  Network n;
+  const NodeId r = n.add_router();
+  const NodeId h = n.add_host(r, 100.0, microseconds(1));
+  EXPECT_EQ(n.node_count(), 2);
+  EXPECT_EQ(n.router_count(), 1);
+  EXPECT_EQ(n.host_count(), 1);
+  EXPECT_EQ(n.kind(r), NodeKind::Router);
+  EXPECT_EQ(n.kind(h), NodeKind::Host);
+  EXPECT_TRUE(n.is_host(h));
+  EXPECT_FALSE(n.is_host(r));
+}
+
+TEST(Network, LinkPairsAreMutualTwins) {
+  Network n;
+  const NodeId a = n.add_router();
+  const NodeId b = n.add_router();
+  const LinkId f = n.add_link_pair(a, b, 200.0, microseconds(5));
+  const Link& fwd = n.link(f);
+  const Link& rev = n.link(fwd.reverse);
+  EXPECT_EQ(fwd.src, a);
+  EXPECT_EQ(fwd.dst, b);
+  EXPECT_EQ(rev.src, b);
+  EXPECT_EQ(rev.dst, a);
+  EXPECT_EQ(rev.reverse, f);
+  EXPECT_DOUBLE_EQ(fwd.capacity, 200.0);
+  EXPECT_EQ(fwd.prop_delay, microseconds(5));
+  n.validate();
+}
+
+TEST(Network, AsymmetricCapacities) {
+  Network n;
+  const NodeId a = n.add_router();
+  const NodeId b = n.add_router();
+  const LinkId f = n.add_link_pair(a, b, 100.0, 50.0, microseconds(1));
+  EXPECT_DOUBLE_EQ(n.link(f).capacity, 100.0);
+  EXPECT_DOUBLE_EQ(n.link(n.link(f).reverse).capacity, 50.0);
+  n.validate();
+}
+
+TEST(Network, HostAccessors) {
+  Network n;
+  const NodeId r1 = n.add_router();
+  const NodeId r2 = n.add_router();
+  n.add_link_pair(r1, r2, 100.0, 0);
+  const NodeId h1 = n.add_host(r1, 100.0, microseconds(1));
+  const NodeId h2 = n.add_host(r2, 80.0, microseconds(2));
+  EXPECT_EQ(n.host_router(h1), r1);
+  EXPECT_EQ(n.host_router(h2), r2);
+  const Link& up = n.link(n.host_uplink(h2));
+  EXPECT_EQ(up.src, h2);
+  EXPECT_EQ(up.dst, r2);
+  EXPECT_DOUBLE_EQ(up.capacity, 80.0);
+  const Link& down = n.link(n.host_downlink(h2));
+  EXPECT_EQ(down.src, r2);
+  EXPECT_EQ(down.dst, h2);
+  EXPECT_EQ(n.hosts().size(), 2u);
+}
+
+TEST(Network, SelfLoopRejected) {
+  Network n;
+  const NodeId a = n.add_router();
+  EXPECT_THROW(n.add_link_pair(a, a, 100.0, 0), InvariantError);
+}
+
+TEST(Network, NonPositiveCapacityRejected) {
+  Network n;
+  const NodeId a = n.add_router();
+  const NodeId b = n.add_router();
+  EXPECT_THROW(n.add_link_pair(a, b, 0.0, 0), InvariantError);
+  EXPECT_THROW(n.add_link_pair(a, b, -5.0, 0), InvariantError);
+}
+
+TEST(Network, HostsAttachToRoutersOnly) {
+  Network n;
+  const NodeId r = n.add_router();
+  const NodeId h = n.add_host(r, 100.0, 0);
+  EXPECT_THROW(n.add_host(h, 100.0, 0), InvariantError);
+}
+
+TEST(Network, HostRouterOfNonHostThrows) {
+  Network n;
+  const NodeId r = n.add_router();
+  EXPECT_THROW(n.host_router(r), InvariantError);
+}
+
+TEST(Network, LinksFromIsDeterministic) {
+  Network n;
+  const NodeId a = n.add_router();
+  const NodeId b = n.add_router();
+  const NodeId c = n.add_router();
+  const LinkId ab = n.add_link_pair(a, b, 100.0, 0);
+  const LinkId ac = n.add_link_pair(a, c, 100.0, 0);
+  const auto out = n.links_from(a);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], ab);
+  EXPECT_EQ(out[1], ac);
+}
+
+// ---- routing ----
+
+// Chain topology: h0 - r0 - r1 - r2 - h1, plus a host on r1.
+class ChainRouting : public ::testing::Test {
+ protected:
+  ChainRouting() {
+    for (int i = 0; i < 3; ++i) r.push_back(n.add_router());
+    n.add_link_pair(r[0], r[1], 200.0, microseconds(10));
+    n.add_link_pair(r[1], r[2], 200.0, microseconds(10));
+    h0 = n.add_host(r[0], 100.0, microseconds(1));
+    h1 = n.add_host(r[2], 100.0, microseconds(1));
+    hm = n.add_host(r[1], 100.0, microseconds(1));
+  }
+  Network n;
+  std::vector<NodeId> r;
+  NodeId h0, h1, hm;
+};
+
+TEST_F(ChainRouting, EndToEndPath) {
+  const PathFinder pf(n);
+  const auto p = pf.shortest_path(h0, h1);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->links.size(), 4u);  // uplink + 2 router hops + downlink
+  EXPECT_EQ(n.link(p->links.front()).src, h0);
+  EXPECT_EQ(n.link(p->links.back()).dst, h1);
+  // Consecutive links chain: dst of one is src of the next.
+  for (std::size_t i = 0; i + 1 < p->links.size(); ++i) {
+    EXPECT_EQ(n.link(p->links[i]).dst, n.link(p->links[i + 1]).src);
+  }
+}
+
+TEST_F(ChainRouting, PathDelayAccumulates) {
+  const PathFinder pf(n);
+  const auto p = pf.shortest_path(h0, h1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(pf.path_delay(*p), microseconds(1 + 10 + 10 + 1));
+}
+
+TEST_F(ChainRouting, SameRouterHosts) {
+  const NodeId h2 = n.add_host(r[1], 100.0, microseconds(1));
+  const PathFinder pf(n);
+  const auto p = pf.shortest_path(hm, h2);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->links.size(), 2u);  // uplink + downlink only
+  EXPECT_EQ(n.link(p->links[0]).src, hm);
+  EXPECT_EQ(n.link(p->links[1]).dst, h2);
+}
+
+TEST_F(ChainRouting, ReversePathUsesReverseLinks) {
+  const PathFinder pf(n);
+  const auto fwd = pf.shortest_path(h0, h1);
+  const auto rev = pf.shortest_path(h1, h0);
+  ASSERT_TRUE(fwd.has_value() && rev.has_value());
+  ASSERT_EQ(fwd->links.size(), rev->links.size());
+  // rev is the link-wise reverse of fwd.
+  for (std::size_t i = 0; i < fwd->links.size(); ++i) {
+    EXPECT_EQ(n.link(fwd->links[i]).reverse,
+              rev->links[rev->links.size() - 1 - i]);
+  }
+}
+
+TEST_F(ChainRouting, SameEndpointsThrow) {
+  const PathFinder pf(n);
+  EXPECT_THROW((void)pf.shortest_path(h0, h0), InvariantError);
+}
+
+TEST_F(ChainRouting, NonHostEndpointsThrow) {
+  const PathFinder pf(n);
+  EXPECT_THROW((void)pf.shortest_path(r[0], h1), InvariantError);
+}
+
+TEST(Routing, UnreachableReturnsNullopt) {
+  Network n;
+  const NodeId a = n.add_router();
+  const NodeId b = n.add_router();  // no link between a and b
+  const NodeId ha = n.add_host(a, 100.0, 0);
+  const NodeId hb = n.add_host(b, 100.0, 0);
+  const PathFinder pf(n);
+  EXPECT_FALSE(pf.shortest_path(ha, hb).has_value());
+  EXPECT_FALSE(pf.min_delay_path(ha, hb).has_value());
+}
+
+TEST(Routing, PicksFewestHops) {
+  // Square with a diagonal: r0-r1-r3 vs r0-r3 direct.
+  Network n;
+  std::vector<NodeId> r;
+  for (int i = 0; i < 4; ++i) r.push_back(n.add_router());
+  n.add_link_pair(r[0], r[1], 100.0, microseconds(1));
+  n.add_link_pair(r[1], r[3], 100.0, microseconds(1));
+  n.add_link_pair(r[0], r[2], 100.0, microseconds(1));
+  n.add_link_pair(r[2], r[3], 100.0, microseconds(1));
+  n.add_link_pair(r[0], r[3], 100.0, microseconds(100));  // direct but slow
+  const NodeId h0 = n.add_host(r[0], 100.0, 0);
+  const NodeId h3 = n.add_host(r[3], 100.0, 0);
+  const PathFinder pf(n);
+  const auto p = pf.shortest_path(h0, h3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->links.size(), 3u);  // uplink + direct + downlink
+}
+
+TEST(Routing, MinDelayAvoidsSlowDirectLink) {
+  Network n;
+  std::vector<NodeId> r;
+  for (int i = 0; i < 3; ++i) r.push_back(n.add_router());
+  n.add_link_pair(r[0], r[2], 100.0, milliseconds(50));     // direct, slow
+  n.add_link_pair(r[0], r[1], 100.0, microseconds(1));      // detour, fast
+  n.add_link_pair(r[1], r[2], 100.0, microseconds(1));
+  const NodeId h0 = n.add_host(r[0], 100.0, 0);
+  const NodeId h2 = n.add_host(r[2], 100.0, 0);
+  const PathFinder pf(n);
+  const auto hops = pf.shortest_path(h0, h2);
+  const auto fast = pf.min_delay_path(h0, h2);
+  ASSERT_TRUE(hops.has_value() && fast.has_value());
+  EXPECT_EQ(hops->links.size(), 3u);  // via the direct link
+  EXPECT_EQ(fast->links.size(), 4u);  // via the detour
+  EXPECT_LT(pf.path_delay(*fast), pf.path_delay(*hops));
+}
+
+TEST(Routing, DeterministicTieBreak) {
+  // Two equal-hop routes; BFS must always pick the same one.
+  Network n;
+  std::vector<NodeId> r;
+  for (int i = 0; i < 4; ++i) r.push_back(n.add_router());
+  n.add_link_pair(r[0], r[1], 100.0, 0);
+  n.add_link_pair(r[0], r[2], 100.0, 0);
+  n.add_link_pair(r[1], r[3], 100.0, 0);
+  n.add_link_pair(r[2], r[3], 100.0, 0);
+  const NodeId h0 = n.add_host(r[0], 100.0, 0);
+  const NodeId h3 = n.add_host(r[3], 100.0, 0);
+  const PathFinder pf(n);
+  const auto p1 = pf.shortest_path(h0, h3);
+  const auto p2 = pf.shortest_path(h0, h3);
+  ASSERT_TRUE(p1.has_value() && p2.has_value());
+  EXPECT_EQ(p1->links, p2->links);
+  // Links are visited in creation order, so the r1 route wins.
+  EXPECT_EQ(n.link(p1->links[1]).dst, r[1]);
+}
+
+TEST(Routing, HostsAreNeverTransit) {
+  // h_mid hangs off r1; route r0->r2 must not detour through a host.
+  Network n;
+  std::vector<NodeId> r;
+  for (int i = 0; i < 3; ++i) r.push_back(n.add_router());
+  n.add_link_pair(r[0], r[1], 100.0, 0);
+  n.add_link_pair(r[1], r[2], 100.0, 0);
+  const NodeId h0 = n.add_host(r[0], 100.0, 0);
+  const NodeId h2 = n.add_host(r[2], 100.0, 0);
+  n.add_host(r[1], 100.0, 0);
+  const PathFinder pf(n);
+  const auto p = pf.shortest_path(h0, h2);
+  ASSERT_TRUE(p.has_value());
+  for (std::size_t i = 1; i + 1 < p->links.size(); ++i) {
+    EXPECT_FALSE(n.is_host(n.link(p->links[i]).src));
+    EXPECT_FALSE(n.is_host(n.link(p->links[i]).dst));
+  }
+}
+
+}  // namespace
+}  // namespace bneck::net

@@ -1,0 +1,205 @@
+// Tests for the discrete-event simulator and the FIFO link channel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace bneck::sim {
+namespace {
+
+TEST(Simulator, StartsIdleAtTimeZero) {
+  Simulator s;
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.run_until_idle(), 0);
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(Simulator, ProcessesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NowAdvancesDuringProcessing) {
+  Simulator s;
+  TimeNs seen = -1;
+  s.schedule_at(123, [&] { seen = s.now(); });
+  s.run_until_idle();
+  EXPECT_EQ(seen, 123);
+  EXPECT_EQ(s.last_event_time(), 123);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(10, [&] {
+    s.schedule_in(5, [&] { ++fired; });
+    s.schedule_at(100, [&] { ++fired; });
+  });
+  EXPECT_EQ(s.run_until_idle(), 100);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.events_processed(), 3u);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator s;
+  s.schedule_at(50, [] {});
+  s.run_until_idle();
+  EXPECT_THROW(s.schedule_at(10, [] {}), InvariantError);
+}
+
+TEST(Simulator, ZeroDelaySelfScheduleAllowed) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) s.schedule_in(0, tick);
+  };
+  s.schedule_at(7, tick);
+  s.run_until_idle();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 7);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  std::vector<TimeNs> fired;
+  for (TimeNs t : {10, 20, 30, 40}) {
+    s.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  s.run_until(25);
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 20}));
+  EXPECT_EQ(s.now(), 25);
+  EXPECT_EQ(s.pending(), 2u);
+  s.run_until_idle();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(25, [&] { fired = true; });
+  s.run_until(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilHonorsEventsSpawnedWithinWindow) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] {
+    order.push_back(1);
+    s.schedule_at(15, [&] { order.push_back(2); });
+  });
+  s.run_until(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, StepProcessesSingleEvent) {
+  Simulator s;
+  int n = 0;
+  s.schedule_at(1, [&] { ++n; });
+  s.schedule_at(2, [&] { ++n; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(n, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, MaxEventsBudgetThrows) {
+  Simulator s;
+  s.set_max_events(100);
+  std::function<void()> forever = [&] { s.schedule_in(1, forever); };
+  s.schedule_at(0, forever);
+  EXPECT_THROW(s.run_until_idle(), InvariantError);
+}
+
+TEST(Simulator, RunUntilIdleReturnsLastEventTime) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  s.schedule_at(99, [] {});
+  EXPECT_EQ(s.run_until_idle(), 99);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const auto run = [] {
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      s.schedule_at(i % 7, [&order, i] { order.push_back(i); });
+    }
+    s.run_until_idle();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FifoChannel, IdleLinkDeliversAfterTxPlusProp) {
+  FifoChannel ch;
+  EXPECT_EQ(ch.transmit(100, 10, 1000), 1110);
+  EXPECT_EQ(ch.busy_until(), 110);
+}
+
+TEST(FifoChannel, BackToBackPacketsSerialize) {
+  FifoChannel ch;
+  const TimeNs a1 = ch.transmit(0, 10, 1000);
+  const TimeNs a2 = ch.transmit(0, 10, 1000);
+  const TimeNs a3 = ch.transmit(0, 10, 1000);
+  EXPECT_EQ(a1, 1010);
+  EXPECT_EQ(a2, 1020);  // waits for the first transmission
+  EXPECT_EQ(a3, 1030);
+}
+
+TEST(FifoChannel, PreservesFifoOrder) {
+  FifoChannel ch;
+  TimeNs prev = -1;
+  for (TimeNs t : {0, 5, 5, 7, 30}) {
+    const TimeNs a = ch.transmit(t, 10, 100);
+    EXPECT_GT(a, prev);  // later sends never arrive earlier
+    prev = a;
+  }
+}
+
+TEST(FifoChannel, IdleGapResetsQueueing) {
+  FifoChannel ch;
+  (void)ch.transmit(0, 10, 100);
+  // Link is free again at t=10; a packet at t=50 goes straight through.
+  EXPECT_EQ(ch.transmit(50, 10, 100), 160);
+}
+
+TEST(FifoChannel, ZeroTransmissionTimeStillFifo) {
+  FifoChannel ch;
+  EXPECT_EQ(ch.transmit(5, 0, 100), 105);
+  EXPECT_EQ(ch.transmit(5, 0, 100), 105);  // same instant, order by queue
+}
+
+TEST(FifoChannel, NegativeDelayThrows) {
+  FifoChannel ch;
+  EXPECT_THROW(ch.transmit(0, -1, 0), InvariantError);
+  EXPECT_THROW(ch.transmit(0, 0, -1), InvariantError);
+}
+
+TEST(FifoChannel, ResetClearsBusyHorizon) {
+  FifoChannel ch;
+  (void)ch.transmit(0, 1000, 0);
+  ch.reset();
+  EXPECT_EQ(ch.busy_until(), 0);
+  EXPECT_EQ(ch.transmit(0, 10, 0), 10);
+}
+
+}  // namespace
+}  // namespace bneck::sim

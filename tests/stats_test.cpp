@@ -1,0 +1,178 @@
+// Tests for summary statistics, binned time series and table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/expect.hpp"
+#include "base/time.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "stats/time_series.hpp"
+
+namespace bneck::stats {
+namespace {
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{3, 1, 4, 1, 5, 9, 2, 6};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0.5), 2.5);
+}
+
+TEST(Percentile, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3}, 0.5), 3.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  // 0..10: p25 over 11 points lands exactly on 2.5.
+  std::vector<double> v;
+  for (int i = 0; i <= 10; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.90), 9.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 0.5), InvariantError);
+}
+
+TEST(Percentile, OutOfRangeQThrows) {
+  EXPECT_THROW(percentile({1.0}, -0.1), InvariantError);
+  EXPECT_THROW(percentile({1.0}, 1.1), InvariantError);
+}
+
+TEST(Summarize, Basics) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Summarize, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, NegativeValues) {
+  const Summary s = summarize({-10, -5, 0, 5, 10});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, -10.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(Accumulator, TracksMinMaxMeanCount) {
+  Accumulator a;
+  for (double x : {4.0, -2.0, 10.0}) a.add(x);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(Accumulator, EmptyIsZeroed) {
+  const Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+}
+
+TEST(BinnedCounter, CountsFallIntoRightBins) {
+  BinnedCounter c(milliseconds(5), {"a", "b"});
+  c.add(milliseconds(1), 0);
+  c.add(milliseconds(4), 0);
+  c.add(milliseconds(5), 0);   // next bin boundary
+  c.add(milliseconds(12), 1);
+  EXPECT_EQ(c.at(0, 0), 2u);
+  EXPECT_EQ(c.at(1, 0), 1u);
+  EXPECT_EQ(c.at(2, 1), 1u);
+  EXPECT_EQ(c.at(2, 0), 0u);
+}
+
+TEST(BinnedCounter, Totals) {
+  BinnedCounter c(10, {"x", "y"});
+  c.add(0, 0, 3);
+  c.add(5, 1, 2);
+  c.add(25, 0);
+  EXPECT_EQ(c.bin_total(0), 5u);
+  EXPECT_EQ(c.bin_total(2), 1u);
+  EXPECT_EQ(c.category_total(0), 4u);
+  EXPECT_EQ(c.category_total(1), 2u);
+  EXPECT_EQ(c.total(), 6u);
+}
+
+TEST(BinnedCounter, UntouchedBinsReadZero) {
+  BinnedCounter c(10, {"x"});
+  EXPECT_EQ(c.at(99, 0), 0u);
+  EXPECT_EQ(c.bin_total(99), 0u);
+  EXPECT_EQ(c.bin_count(), 0u);
+}
+
+TEST(BinnedCounter, BinStart) {
+  BinnedCounter c(milliseconds(3), {"x"});
+  EXPECT_EQ(c.bin_start(0), 0);
+  EXPECT_EQ(c.bin_start(4), milliseconds(12));
+}
+
+TEST(BinnedCounter, BadCategoryThrows) {
+  BinnedCounter c(10, {"x"});
+  EXPECT_THROW(c.add(0, 1), InvariantError);
+  EXPECT_THROW((void)c.at(0, 1), InvariantError);
+}
+
+TEST(BinnedCounter, NegativeTimeThrows) {
+  BinnedCounter c(10, {"x"});
+  EXPECT_THROW(c.add(-1, 0), InvariantError);
+}
+
+TEST(Table, FixedWidthRendering) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::integer(1234567), "1234567");
+  EXPECT_EQ(Table::integer(-42), "-42");
+}
+
+}  // namespace
+}  // namespace bneck::stats

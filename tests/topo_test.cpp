@@ -1,0 +1,225 @@
+// Tests for canonical topologies and the transit-stub generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/routing.hpp"
+#include "topo/canonical.hpp"
+#include "topo/transit_stub.hpp"
+
+namespace bneck::topo {
+namespace {
+
+TEST(Canonical, LineStructure) {
+  const auto n = make_line(4);
+  EXPECT_EQ(n.router_count(), 4);
+  EXPECT_EQ(n.host_count(), 4);
+  n.validate();
+  // 3 router pairs + 4 access pairs = 14 directed links.
+  EXPECT_EQ(n.link_count(), 14);
+}
+
+TEST(Canonical, LineHostOrderFollowsRouters) {
+  CanonicalOptions opt;
+  opt.hosts_per_router = 2;
+  const auto n = make_line(3, opt);
+  ASSERT_EQ(n.host_count(), 6);
+  for (int i = 0; i < 6; ++i) {
+    const NodeId router = n.host_router(n.hosts()[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(router.value(), i / 2);  // routers were created first: ids 0..2
+  }
+}
+
+TEST(Canonical, StarStructure) {
+  const auto n = make_star(5);
+  EXPECT_EQ(n.router_count(), 6);
+  n.validate();
+  const net::PathFinder pf(n);
+  const auto p = pf.shortest_path(n.hosts()[1], n.hosts()[2]);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->links.size(), 4u);  // leaf -> hub -> leaf
+}
+
+TEST(Canonical, DumbbellStructure) {
+  const auto n = make_dumbbell(3, 100.0);
+  EXPECT_EQ(n.router_count(), 2);
+  EXPECT_EQ(n.host_count(), 6);
+  n.validate();
+  // First 3 hosts on the left router, last 3 on the right.
+  const NodeId left = n.host_router(n.hosts()[0]);
+  const NodeId right = n.host_router(n.hosts()[3]);
+  EXPECT_NE(left, right);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(n.host_router(n.hosts()[static_cast<std::size_t>(i)]), left);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(n.host_router(n.hosts()[static_cast<std::size_t>(i)]), right);
+}
+
+TEST(Canonical, TreeStructure) {
+  const auto n = make_tree(3);
+  EXPECT_EQ(n.router_count(), 15);  // complete binary tree depth 3
+  EXPECT_EQ(n.host_count(), 8);     // hosts on the 8 leaves
+  n.validate();
+}
+
+TEST(Canonical, TreeDepthZero) {
+  const auto n = make_tree(0);
+  EXPECT_EQ(n.router_count(), 1);
+  EXPECT_EQ(n.host_count(), 1);
+}
+
+TEST(Canonical, RingStructure) {
+  const auto n = make_ring(6);
+  EXPECT_EQ(n.router_count(), 6);
+  n.validate();
+  // Ring: 6 router pairs + 6 access pairs = 24 directed links.
+  EXPECT_EQ(n.link_count(), 24);
+}
+
+TEST(Canonical, ParkingLotPaths) {
+  const auto n = make_parking_lot(3);
+  EXPECT_EQ(n.router_count(), 4);
+  EXPECT_EQ(n.host_count(), 4);
+  const net::PathFinder pf(n);
+  // The long session crosses all 3 router links.
+  const auto p = pf.shortest_path(n.hosts().front(), n.hosts().back());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->links.size(), 5u);
+}
+
+TEST(Canonical, RandomIsConnected) {
+  Rng rng(7);
+  const auto n = make_random(50, 30, 25, rng);
+  EXPECT_EQ(n.router_count(), 50);
+  EXPECT_EQ(n.host_count(), 25);
+  n.validate();
+  const net::PathFinder pf(n);
+  for (std::size_t i = 1; i < n.hosts().size(); ++i) {
+    EXPECT_TRUE(pf.shortest_path(n.hosts()[0], n.hosts()[i]).has_value());
+  }
+}
+
+TEST(Canonical, RandomDeterministicPerSeed) {
+  Rng a(42), b(42);
+  const auto na = make_random(20, 10, 5, a);
+  const auto nb = make_random(20, 10, 5, b);
+  EXPECT_EQ(na.link_count(), nb.link_count());
+  for (std::int32_t i = 0; i < na.link_count(); ++i) {
+    EXPECT_EQ(na.link(LinkId{i}).src, nb.link(LinkId{i}).src);
+    EXPECT_EQ(na.link(LinkId{i}).dst, nb.link(LinkId{i}).dst);
+  }
+}
+
+TEST(TransitStub, PresetRouterCounts) {
+  EXPECT_EQ(small_params().total_routers(), 110);
+  EXPECT_EQ(medium_params().total_routers(), 1100);
+  EXPECT_EQ(big_params().total_routers(), 11000);
+}
+
+TEST(TransitStub, PresetByName) {
+  EXPECT_EQ(params_by_name("small").total_routers(), 110);
+  EXPECT_EQ(params_by_name("medium").total_routers(), 1100);
+  EXPECT_EQ(params_by_name("big").total_routers(), 11000);
+  EXPECT_THROW(params_by_name("huge"), InvariantError);
+}
+
+TEST(TransitStub, SmallBuildMatchesPreset) {
+  auto p = small_params();
+  p.hosts = 50;
+  Rng rng(1);
+  const auto n = make_transit_stub(p, rng);
+  EXPECT_EQ(n.router_count(), 110);
+  EXPECT_EQ(n.host_count(), 50);
+  n.validate();
+}
+
+TEST(TransitStub, AllHostPairsConnected) {
+  auto p = small_params();
+  p.hosts = 20;
+  Rng rng(3);
+  const auto n = make_transit_stub(p, rng);
+  const net::PathFinder pf(n);
+  for (std::size_t i = 1; i < n.hosts().size(); ++i) {
+    EXPECT_TRUE(pf.shortest_path(n.hosts()[0], n.hosts()[i]).has_value());
+  }
+}
+
+TEST(TransitStub, CapacityClasses) {
+  auto p = small_params();
+  p.hosts = 10;
+  Rng rng(5);
+  const auto n = make_transit_stub(p, rng);
+  std::set<double> caps;
+  for (std::int32_t i = 0; i < n.link_count(); ++i) {
+    caps.insert(n.link(LinkId{i}).capacity);
+  }
+  // Exactly the paper's three classes.
+  EXPECT_EQ(caps, (std::set<double>{100.0, 200.0, 500.0}));
+}
+
+TEST(TransitStub, LanDelaysAreOneMicrosecond) {
+  auto p = small_params();
+  p.hosts = 5;
+  p.delay_model = DelayModel::Lan;
+  Rng rng(5);
+  const auto n = make_transit_stub(p, rng);
+  for (std::int32_t i = 0; i < n.link_count(); ++i) {
+    EXPECT_EQ(n.link(LinkId{i}).prop_delay, microseconds(1));
+  }
+}
+
+TEST(TransitStub, WanDelaysInRangeAndHostLinksLan) {
+  auto p = small_params();
+  p.hosts = 5;
+  p.delay_model = DelayModel::Wan;
+  Rng rng(5);
+  const auto n = make_transit_stub(p, rng);
+  bool saw_wan = false;
+  for (std::int32_t i = 0; i < n.link_count(); ++i) {
+    const auto& l = n.link(LinkId{i});
+    if (n.is_host(l.src) || n.is_host(l.dst)) {
+      EXPECT_EQ(l.prop_delay, microseconds(1));
+    } else {
+      EXPECT_GE(l.prop_delay, milliseconds(1));
+      EXPECT_LE(l.prop_delay, milliseconds(10));
+      saw_wan = true;
+    }
+  }
+  EXPECT_TRUE(saw_wan);
+}
+
+TEST(TransitStub, HostsLandOnStubRouters) {
+  auto p = small_params();
+  p.hosts = 40;
+  Rng rng(9);
+  const auto n = make_transit_stub(p, rng);
+  // Stub routers were created after the 10 transit routers, so their node
+  // ids are >= 10 (hosts come last).
+  for (const NodeId h : n.hosts()) {
+    EXPECT_GE(n.host_router(h).value(), 10);
+  }
+}
+
+TEST(TransitStub, MediumBuildIsSane) {
+  auto p = medium_params();
+  p.hosts = 100;
+  Rng rng(11);
+  const auto n = make_transit_stub(p, rng);
+  EXPECT_EQ(n.router_count(), 1100);
+  n.validate();
+  const net::PathFinder pf(n);
+  EXPECT_TRUE(pf.shortest_path(n.hosts().front(), n.hosts().back()).has_value());
+}
+
+TEST(TransitStub, DeterministicPerSeed) {
+  auto p = small_params();
+  p.hosts = 30;
+  Rng a(123), b(123);
+  const auto na = make_transit_stub(p, a);
+  const auto nb = make_transit_stub(p, b);
+  EXPECT_EQ(na.link_count(), nb.link_count());
+  for (std::int32_t i = 0; i < na.link_count(); ++i) {
+    EXPECT_EQ(na.link(LinkId{i}).prop_delay, nb.link(LinkId{i}).prop_delay);
+  }
+}
+
+}  // namespace
+}  // namespace bneck::topo
