@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Benchmark driver: runs the exp1-exp3, ablation and micro benchmarks and
+emits a machine-readable JSON report (BENCH_seed.json by default).
+
+The report is the perf baseline every scaling PR is measured against:
+
+    {
+      "schema": "bneck-bench/1",
+      "generated_at_utc": "...",
+      "host": {"machine": ..., "system": ..., "cpus": ...},
+      "config": {"scale": 0.1, "seed": 1},
+      "benches": [
+        {"name": "exp1_quiescence", "cmd": [...], "exit_code": 0,
+         "wall_seconds": 1.23, "stdout": "..."},
+        ...
+      ],
+      "micro": [<google-benchmark JSON report per micro binary>]
+    }
+
+Usage (normally via the `run_benchmarks` CMake target):
+    scripts/run_benchmarks.py --bench-dir build/bench --output build/BENCH_seed.json
+"""
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+FIGURE_BENCHES = [
+    "exp1_quiescence",
+    "exp2_dynamics",
+    "exp3_error",
+    "exp3_nonconvergence",
+    "exp3_packets",
+    "ablation_overload",
+    "ablation_timing",
+]
+MICRO_BENCHES = ["micro_substrate", "micro_protocol"]
+
+
+def run_figure_bench(path, scale, seed, timeout):
+    cmd = [path, "--scale", str(scale), "--seed", str(seed)]
+    start = time.monotonic()
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout)
+        exit_code, stdout, stderr = proc.returncode, proc.stdout, proc.stderr
+    except subprocess.TimeoutExpired as exc:
+        exit_code = -1
+        stdout = (exc.stdout or b"").decode() if isinstance(exc.stdout, bytes) else (exc.stdout or "")
+        stderr = f"timeout after {timeout}s"
+    wall = time.monotonic() - start
+    return {
+        "name": os.path.basename(path),
+        "cmd": cmd,
+        "exit_code": exit_code,
+        "wall_seconds": round(wall, 3),
+        "stdout": stdout,
+        "stderr": stderr,
+    }
+
+
+def run_micro_bench(path, min_time, timeout):
+    cmd = [path, f"--benchmark_min_time={min_time}", "--benchmark_format=json"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout)
+    except subprocess.TimeoutExpired:
+        return {"name": os.path.basename(path), "error": f"timeout after {timeout}s"}
+    if proc.returncode != 0:
+        return {
+            "name": os.path.basename(path),
+            "error": f"exit code {proc.returncode}",
+            "stderr": proc.stderr,
+        }
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return {"name": os.path.basename(path), "error": "unparseable JSON output"}
+    report["name"] = os.path.basename(path)
+    return report
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench-dir", required=True, help="directory with bench binaries")
+    ap.add_argument("--output", default="BENCH_seed.json")
+    ap.add_argument("--scale", type=float, default=0.1,
+                    help="workload scale passed to the figure benches (default 0.1)")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--micro-min-time", type=float, default=0.05,
+                    help="google-benchmark --benchmark_min_time (default 0.05)")
+    ap.add_argument("--timeout", type=float, default=600.0, help="per-binary timeout")
+    args = ap.parse_args()
+
+    report = {
+        "schema": "bneck-bench/1",
+        "generated_at_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "release": platform.release(),
+            "cpus": os.cpu_count(),
+        },
+        "config": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "micro_min_time": args.micro_min_time,
+        },
+        "benches": [],
+        "micro": [],
+    }
+
+    failures = 0
+    for name in FIGURE_BENCHES:
+        path = os.path.join(args.bench_dir, name)
+        if not os.path.exists(path):
+            print(f"[skip] {name}: binary not built", file=sys.stderr)
+            continue
+        print(f"[run ] {name} --scale {args.scale} --seed {args.seed}", flush=True)
+        result = run_figure_bench(path, args.scale, args.seed, args.timeout)
+        report["benches"].append(result)
+        if result["exit_code"] != 0:
+            failures += 1
+            print(f"[FAIL] {name}: exit {result['exit_code']}", file=sys.stderr)
+        else:
+            print(f"[ ok ] {name}: {result['wall_seconds']}s")
+
+    for name in MICRO_BENCHES:
+        path = os.path.join(args.bench_dir, name)
+        if not os.path.exists(path):
+            print(f"[skip] {name}: binary not built (google-benchmark missing?)",
+                  file=sys.stderr)
+            continue
+        print(f"[run ] {name} (min_time={args.micro_min_time})", flush=True)
+        result = run_micro_bench(path, args.micro_min_time, args.timeout)
+        report["micro"].append(result)
+        if "error" in result:
+            failures += 1
+            print(f"[FAIL] {name}: {result['error']}", file=sys.stderr)
+        else:
+            print(f"[ ok ] {name}: {len(result.get('benchmarks', []))} cases")
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.output} ({len(report['benches'])} figure benches, "
+          f"{len(report['micro'])} micro reports)")
+    if not report["benches"] and not report["micro"]:
+        print(f"no bench binaries found in {args.bench_dir}", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,12 @@ constexpr Rate kRateInfinity = std::numeric_limits<Rate>::infinity();
 /// this, while distinct bottleneck rates generically differ by far more.
 constexpr double kRateEps = 1e-9;
 
+/// Looser tolerance for validating *measured* allocations (solution
+/// annotation and the max-min invariant checker): rates observed from the
+/// running protocol carry quantization and convergence error far above the
+/// solver's rounding noise, so saturation/restriction checks use this.
+constexpr double kRateCheckEps = 1e-6;
+
 /// True if a and b are equal up to relative tolerance eps (absolute
 /// tolerance near zero).  Handles equal infinities.
 [[nodiscard]] bool rate_eq(Rate a, Rate b, double eps = kRateEps);

@@ -213,33 +213,29 @@ std::unordered_map<LinkId, LinkInfo> annotate_links(
     std::span<const Rate> rates) {
   BNECK_EXPECT(sessions.size() == rates.size(), "rate vector size mismatch");
   std::unordered_map<LinkId, LinkInfo> out;
+  // Both the bottleneck level and restriction are judged on the
+  // weight-normalized level λ/w, so the annotation stays correct for the
+  // weighted extension (with unit weights this is the paper's λ = B*e
+  // condition).
   for (std::size_t si = 0; si < sessions.size(); ++si) {
     for (const LinkId e : sessions[si].path.links) {
       LinkInfo& info = out.try_emplace(e).first->second;
       info.capacity = net.link(e).capacity;
       info.assigned += rates[si];
-      info.bottleneck_rate = std::max(info.bottleneck_rate, rates[si]);
+      info.bottleneck_rate =
+          std::max(info.bottleneck_rate, rates[si] / sessions[si].weight);
       ++info.sessions;
     }
   }
   for (auto& [e, info] : out) {
-    info.saturated = rate_ge(info.assigned, info.capacity, 1e-6);
-  }
-  // Restriction is judged on the weight-normalized level λ/w, so the
-  // annotation stays correct for the weighted extension (with unit
-  // weights this is the paper's λ = B*e condition).
-  std::unordered_map<LinkId, double> max_level;
-  for (std::size_t si = 0; si < sessions.size(); ++si) {
-    for (const LinkId e : sessions[si].path.links) {
-      auto& lvl = max_level[e];
-      lvl = std::max(lvl, rates[si] / sessions[si].weight);
-    }
+    info.saturated = rate_ge(info.assigned, info.capacity, kRateCheckEps);
   }
   for (std::size_t si = 0; si < sessions.size(); ++si) {
     for (const LinkId e : sessions[si].path.links) {
       LinkInfo& info = out.at(e);
       if (info.saturated &&
-          rate_eq(rates[si] / sessions[si].weight, max_level.at(e), 1e-6)) {
+          rate_eq(rates[si] / sessions[si].weight, info.bottleneck_rate,
+                  kRateCheckEps)) {
         ++info.restricted;
       }
     }
@@ -251,15 +247,8 @@ std::string check_maxmin_invariants(const net::Network& net,
                                     std::span<const SessionSpec> sessions,
                                     std::span<const Rate> rates) {
   const auto links = annotate_links(net, sessions, rates);
-  std::unordered_map<LinkId, double> max_levels;
-  for (std::size_t si = 0; si < sessions.size(); ++si) {
-    for (const LinkId e : sessions[si].path.links) {
-      auto& lvl = max_levels[e];
-      lvl = std::max(lvl, rates[si] / sessions[si].weight);
-    }
-  }
   for (const auto& [e, info] : links) {
-    if (rate_gt(info.assigned, info.capacity, 1e-6)) {
+    if (rate_gt(info.assigned, info.capacity, kRateCheckEps)) {
       return "link " + std::to_string(e.value()) + " overloaded: " +
              format_rate(info.assigned) + " > " + format_rate(info.capacity);
     }
@@ -270,11 +259,11 @@ std::string check_maxmin_invariants(const net::Network& net,
       return "session " + std::to_string(s.id.value()) + " has rate " +
              format_rate(rates[si]);
     }
-    if (rate_gt(rates[si], s.demand, 1e-6)) {
+    if (rate_gt(rates[si], s.demand, kRateCheckEps)) {
       return "session " + std::to_string(s.id.value()) +
              " exceeds its demand";
     }
-    if (rate_eq(rates[si], s.demand, 1e-6)) continue;  // restricted by demand
+    if (rate_eq(rates[si], s.demand, kRateCheckEps)) continue;  // restricted by demand
     bool has_bottleneck = false;
     for (const LinkId e : s.path.links) {
       const LinkInfo& info = links.at(e);
@@ -282,7 +271,7 @@ std::string check_maxmin_invariants(const net::Network& net,
       // sessions (maximal weight-normalized level); with unit weights
       // this is the paper's Definition 1.
       if (!info.saturated) continue;
-      if (rate_ge(rates[si] / s.weight, max_levels.at(e), 1e-6)) {
+      if (rate_ge(rates[si] / s.weight, info.bottleneck_rate, kRateCheckEps)) {
         has_bottleneck = true;
         break;
       }

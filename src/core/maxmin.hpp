@@ -28,7 +28,9 @@ namespace bneck::core {
 struct LinkInfo {
   Rate capacity = 0;
   Rate assigned = 0;        // sum of rates of sessions crossing the link
-  Rate bottleneck_rate = 0; // max session rate on the link (B*e when saturated)
+  // Max weight-normalized level λ/w on the link (B*e when saturated); with
+  // unit weights this is the max session rate.
+  Rate bottleneck_rate = 0;
   std::int32_t sessions = 0;
   std::int32_t restricted = 0;  // |R*e|: sessions for which this link is a bottleneck
   bool saturated = false;       // assigned ≈ capacity

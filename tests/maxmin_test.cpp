@@ -325,6 +325,34 @@ TEST(WeightedMaxMin, WeightsSplitASingleBottleneck) {
   expect_rates(solve_waterfill(n, s), {10.0, 20.0, 30.0});
 }
 
+TEST(WeightedMaxMin, LinkAnnotationUsesNormalizedLevel) {
+  // Weights 1:2 over a 90 Mbps dumbbell: rates 30/60, common level
+  // B*e = 30.  The annotation judges both the bottleneck level and
+  // restriction on the weight-normalized level λ/w, so the saturated
+  // link must report bottleneck_rate == 30 (not the raw max rate 60)
+  // and count both sessions as restricted.
+  const auto n = topo::make_dumbbell(2, 90.0);
+  std::vector<SessionSpec> s;
+  for (int i = 0; i < 2; ++i) {
+    auto spec = make_session(n, i, n.hosts()[static_cast<std::size_t>(i)],
+                             n.hosts()[static_cast<std::size_t>(i + 2)]);
+    spec.weight = 1.0 + i;
+    s.push_back(std::move(spec));
+  }
+  const auto sol = solve_reference(n, s);
+  expect_rates(sol, {30.0, 60.0});
+  bool found = false;
+  for (const auto& [e, info] : sol.links) {
+    if (info.capacity != 90.0) continue;
+    found = true;
+    EXPECT_TRUE(info.saturated);
+    EXPECT_EQ(info.sessions, 2);
+    EXPECT_NEAR(info.bottleneck_rate, 30.0, 1e-9);
+    EXPECT_EQ(info.restricted, 2);
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(WeightedMaxMin, UnitWeightsMatchUnweighted) {
   const auto n = topo::make_dumbbell(4, 100.0);
   std::vector<SessionSpec> a, b;

@@ -90,7 +90,7 @@ TEST(Network, HostsAttachToRoutersOnly) {
 TEST(Network, HostRouterOfNonHostThrows) {
   Network n;
   const NodeId r = n.add_router();
-  EXPECT_THROW(n.host_router(r), InvariantError);
+  EXPECT_THROW((void)n.host_router(r), InvariantError);
 }
 
 TEST(Network, LinksFromIsDeterministic) {

@@ -148,6 +148,55 @@ TEST(Simulator, DeterministicAcrossRuns) {
   EXPECT_EQ(run(), run());
 }
 
+// Regression suite for the determinism contract in sim/simulator.hpp:
+// (time, insertion-sequence) ordering, run_until horizon semantics, and
+// the max_events bound turning runaway schedules into exceptions.
+TEST(SimulatorDeterminismContract, SameTimestampFiresInInsertionOrder) {
+  // Ties break by insertion order even when events are inserted from
+  // inside a running event at the current instant: the zero-delay
+  // follow-ups queue behind the same-timestamp events scheduled earlier.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(5, [&] {
+    order.push_back(1);
+    s.schedule_in(0, [&] { order.push_back(4); });
+    s.schedule_in(0, [&] { order.push_back(5); });
+  });
+  s.schedule_at(5, [&] { order.push_back(2); });
+  s.schedule_at(5, [&] { order.push_back(3); });
+  s.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(SimulatorDeterminismContract, RunUntilHonorsHorizonCascades) {
+  // A cascade scheduled during processing is honored while it lands
+  // within the horizon, excluded once it passes it, and now() ends at
+  // the horizon regardless.
+  Simulator s;
+  std::vector<TimeNs> fired;
+  std::function<void()> cascade = [&] {
+    fired.push_back(s.now());
+    s.schedule_in(10, cascade);
+  };
+  s.schedule_at(5, cascade);
+  s.run_until(30);
+  EXPECT_EQ(fired, (std::vector<TimeNs>{5, 15, 25}));
+  EXPECT_EQ(s.now(), 30);
+  EXPECT_EQ(s.pending(), 1u);  // the t=35 event survives for the next run
+  s.run_until(35);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorDeterminismContract, RunUntilThrowsInsteadOfHanging) {
+  // A protocol bug that schedules forever within the horizon must hit
+  // the max_events bound and throw rather than spin run_until.
+  Simulator s;
+  s.set_max_events(1000);
+  std::function<void()> forever = [&] { s.schedule_in(0, forever); };
+  s.schedule_at(1, forever);
+  EXPECT_THROW(s.run_until(2), InvariantError);
+}
+
 TEST(FifoChannel, IdleLinkDeliversAfterTxPlusProp) {
   FifoChannel ch;
   EXPECT_EQ(ch.transmit(100, 10, 1000), 1110);
