@@ -5,6 +5,9 @@
 //   --scale <f>   multiply workload sizes by f (1.0 = paper scale where
 //                 stated, defaults are well below 1)
 //   --seed <n>    RNG seed
+//   --threads <n> worker threads for independent sweep points (0 = all
+//                 cores; also settable via $BNECK_THREADS).  Results are
+//                 byte-identical at any thread count.
 // plus bench-specific flags documented in each binary's header comment.
 #pragma once
 
@@ -19,6 +22,7 @@ struct Args {
   double scale = 1.0;
   std::uint64_t seed = 1;
   bool full = false;
+  std::size_t threads = 0;  // 0 = workload::default_parallelism()
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -27,10 +31,13 @@ struct Args {
         a.scale = std::atof(argv[++i]);
       } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         a.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        a.threads = static_cast<std::size_t>(
+            std::strtoull(argv[++i], nullptr, 10));
       } else if (std::strcmp(argv[i], "--full") == 0) {
         a.full = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf("flags: --scale <f> --seed <n> --full\n");
+        std::printf("flags: --scale <f> --seed <n> --threads <n> --full\n");
         std::exit(0);
       }
     }

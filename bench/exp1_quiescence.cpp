@@ -24,6 +24,7 @@
 #include "stats/table.hpp"
 #include "topo/transit_stub.hpp"
 #include "workload/experiment.hpp"
+#include "workload/parallel.hpp"
 
 using namespace bneck;
 
@@ -90,22 +91,40 @@ int main(int argc, char** argv) {
     sweeps[2].sessions.push_back(5000);
   }
 
-  stats::Table table({"network", "scenario", "sessions", "quiescence",
-                      "packets", "pkts/session", "max rel err"});
+  // Every sweep point builds its own network, workload and simulator
+  // from (preset, delay, N, seed) alone, so the grid fans out over the
+  // thread pool; rows are merged in grid order — output is identical to
+  // the sequential sweep at any --threads value.
+  struct Point {
+    const char* preset;
+    topo::DelayModel delay;
+    std::int32_t n;
+  };
+  std::vector<Point> points;
   for (const auto& sweep : sweeps) {
     for (const topo::DelayModel delay :
          {topo::DelayModel::Lan, topo::DelayModel::Wan}) {
       for (const std::int32_t n0 : sweep.sessions) {
-        const std::int32_t n = args.scaled(n0, 2);
-        const RunResult r = run(sweep.preset, delay, n, args.seed);
-        table.add_row(
-            {sweep.preset, delay == topo::DelayModel::Lan ? "LAN" : "WAN",
-             stats::Table::integer(n), format_time(r.quiescent_at),
-             stats::Table::integer(static_cast<std::int64_t>(r.packets)),
-             stats::Table::num(static_cast<double>(r.packets) / n, 1),
-             stats::Table::num(r.max_error * 100, 6) + "%"});
+        points.push_back({sweep.preset, delay, args.scaled(n0, 2)});
       }
     }
+  }
+  const auto results = workload::parallel_map<RunResult>(
+      points.size(), args.threads, [&](std::size_t i) {
+        return run(points[i].preset, points[i].delay, points[i].n, args.seed);
+      });
+
+  stats::Table table({"network", "scenario", "sessions", "quiescence",
+                      "packets", "pkts/session", "max rel err"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    const RunResult& r = results[i];
+    table.add_row(
+        {pt.preset, pt.delay == topo::DelayModel::Lan ? "LAN" : "WAN",
+         stats::Table::integer(pt.n), format_time(r.quiescent_at),
+         stats::Table::integer(static_cast<std::int64_t>(r.packets)),
+         stats::Table::num(static_cast<double>(r.packets) / pt.n, 1),
+         stats::Table::num(r.max_error * 100, 6) + "%"});
   }
   table.print(std::cout);
   std::printf(

@@ -18,6 +18,7 @@
 #include "bench_util.hpp"
 #include "exp3_common.hpp"
 #include "stats/table.hpp"
+#include "workload/parallel.hpp"
 
 using namespace bneck;
 
@@ -35,11 +36,22 @@ int main(int argc, char** argv) {
   tcfg.sample_interval = milliseconds(3);
   tcfg.tolerance_percent = 0.5;
 
-  for (const char* kind : {"B-Neck", "BFYZ"}) {
-    sim::Simulator sim;
-    auto p = benchutil::start_protocol(kind, sim, setup, args.seed);
-    const auto result = workload::run_tracked(sim, *p, setup.network, tcfg);
-    p->shutdown();
+  // Both protocol runs are independent simulations over the shared
+  // read-only setup: fan out, then print per-protocol sections in fixed
+  // order — output is identical to the sequential loop.
+  const std::vector<std::string> kinds{"B-Neck", "BFYZ"};
+  const auto results = workload::parallel_map<workload::TrackedResult>(
+      kinds.size(), args.threads, [&](std::size_t i) {
+        sim::Simulator sim;
+        auto p = benchutil::start_protocol(kinds[i], sim, setup, args.seed);
+        auto result = workload::run_tracked(sim, *p, setup.network, tcfg);
+        p->shutdown();
+        return result;
+      });
+
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const char* kind = kinds[i].c_str();
+    const auto& result = results[i];
 
     std::printf("--- %s: error at sources (percent) ---\n", kind);
     stats::Table src({"t[ms]", "p10", "median", "avg", "p90"});

@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 #include "exp3_common.hpp"
 #include "stats/table.hpp"
+#include "workload/parallel.hpp"
 
 using namespace bneck;
 
@@ -31,16 +32,25 @@ int main(int argc, char** argv) {
   tcfg.sample_interval = milliseconds(1);
   tcfg.tolerance_percent = 1.0;
 
+  // The four protocols run on independent simulators over the shared
+  // (read-only) setup: fan them out and merge rows in protocol order.
+  const std::vector<std::string> kinds{"B-Neck", "BFYZ", "CG", "RCP"};
+  const auto results = workload::parallel_map<workload::TrackedResult>(
+      kinds.size(), args.threads, [&](std::size_t i) {
+        sim::Simulator sim;
+        auto p = benchutil::start_protocol(kinds[i], sim, setup, args.seed);
+        auto result = workload::run_tracked(sim, *p, setup.network, tcfg);
+        p->shutdown();
+        return result;
+      });
+
   stats::Table table({"protocol", "converged", "at", "final max|e|",
                       "final median e", "packets"});
-  for (const char* kind : {"B-Neck", "BFYZ", "CG", "RCP"}) {
-    sim::Simulator sim;
-    auto p = benchutil::start_protocol(kind, sim, setup, args.seed);
-    const auto result = workload::run_tracked(sim, *p, setup.network, tcfg);
-    p->shutdown();
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const auto& result = results[i];
     const auto& last = result.samples.back();
     table.add_row(
-        {kind, result.converged_at ? "yes" : "NO",
+        {kinds[i], result.converged_at ? "yes" : "NO",
          result.converged_at ? format_time(*result.converged_at) : "-",
          stats::Table::num(last.max_abs_error, 2) + "%",
          stats::Table::num(last.source_error.p50, 2) + "%",

@@ -12,6 +12,7 @@
 #include "exp3_common.hpp"
 #include "stats/table.hpp"
 #include "stats/time_series.hpp"
+#include "workload/parallel.hpp"
 
 using namespace bneck;
 
@@ -26,24 +27,35 @@ int main(int argc, char** argv) {
   std::printf("medium LAN network, %d sessions join / %zu leave in 5ms\n\n",
               sessions, setup.leavers);
 
-  std::vector<std::vector<std::uint64_t>> columns;
-  std::vector<std::string> names;
-  for (const char* kind : {"B-Neck", "BFYZ"}) {
-    sim::Simulator sim;
-    auto p = benchutil::start_protocol(kind, sim, setup, args.seed);
-    stats::BinnedCounter bins(bin, {"pkts"});
-    p->set_packet_listener([&bins](TimeNs t) { bins.add(t, 0); });
-    sim.run_until(horizon);
-    p->shutdown();
+  // Both protocols run on independent simulators; fan out and print in
+  // fixed order afterwards, so the output matches the sequential run.
+  struct ProtoRun {
     std::vector<std::uint64_t> col;
-    for (TimeNs t = 0; t < horizon; t += bin) {
-      col.push_back(bins.at(static_cast<std::size_t>(t / bin), 0));
-    }
-    columns.push_back(std::move(col));
-    names.emplace_back(kind);
-    std::printf("%s total packets in %s: %llu\n", kind,
+    std::uint64_t packets = 0;
+  };
+  const std::vector<std::string> names{"B-Neck", "BFYZ"};
+  const auto runs = workload::parallel_map<ProtoRun>(
+      names.size(), args.threads, [&](std::size_t i) {
+        sim::Simulator sim;
+        auto p = benchutil::start_protocol(names[i], sim, setup, args.seed);
+        stats::BinnedCounter bins(bin, {"pkts"});
+        p->set_packet_listener([&bins](TimeNs t) { bins.add(t, 0); });
+        sim.run_until(horizon);
+        p->shutdown();
+        ProtoRun run;
+        for (TimeNs t = 0; t < horizon; t += bin) {
+          run.col.push_back(bins.at(static_cast<std::size_t>(t / bin), 0));
+        }
+        run.packets = p->packets_sent();
+        return run;
+      });
+
+  std::vector<std::vector<std::uint64_t>> columns;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    columns.push_back(runs[i].col);
+    std::printf("%s total packets in %s: %llu\n", names[i].c_str(),
                 format_time(horizon).c_str(),
-                static_cast<unsigned long long>(p->packets_sent()));
+                static_cast<unsigned long long>(runs[i].packets));
   }
 
   std::printf("\n");

@@ -6,6 +6,7 @@
 
 #include "core/link_table.hpp"
 #include "core/maxmin.hpp"
+#include "core/packet.hpp"
 #include "net/routing.hpp"
 #include "sim/simulator.hpp"
 #include "topo/canonical.hpp"
@@ -14,6 +15,7 @@
 namespace bneck {
 namespace {
 
+// Callback-kind events: the cold path (std::function, may allocate).
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   const auto n = static_cast<std::int64_t>(state.range(0));
   for (auto _ : state) {
@@ -28,6 +30,54 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+// Delivery-kind events: the allocation-free hot path every protocol
+// packet takes (a Packet payload stored inline, one handler dispatch).
+struct PacketCounter final
+    : sim::DeliveryHandlerOf<PacketCounter, core::Packet> {
+  std::int64_t sum = 0;
+  void on_delivery(const core::Packet& p) { sum += p.hop; }
+};
+
+void BM_EventQueuePacketDelivery(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    PacketCounter counter;
+    core::Packet p;
+    for (std::int64_t i = 0; i < n; ++i) {
+      p.hop = static_cast<std::int32_t>(i);
+      sim.schedule_delivery_at(i % 1000, counter, p);
+    }
+    sim.run_until_idle();
+    benchmark::DoNotOptimize(counter.sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePacketDelivery)->Arg(1000)->Arg(100000);
+
+// Mixed schedule like a real run: mostly deliveries, some callbacks.
+void BM_EventQueueMixed(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    PacketCounter counter;
+    std::int64_t sum = 0;
+    core::Packet p;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (i % 16 == 0) {
+        sim.schedule_at(i % 1000, [&sum, i] { sum += i; });
+      } else {
+        p.hop = static_cast<std::int32_t>(i);
+        sim.schedule_delivery_at(i % 1000, counter, p);
+      }
+    }
+    sim.run_until_idle();
+    benchmark::DoNotOptimize(counter.sum + sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueMixed)->Arg(100000);
 
 void BM_FifoChannelTransmit(benchmark::State& state) {
   sim::FifoChannel ch;

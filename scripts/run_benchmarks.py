@@ -19,6 +19,15 @@ The report is the perf baseline every scaling PR is measured against:
 
 Usage (normally via the `run_benchmarks` CMake target):
     scripts/run_benchmarks.py --bench-dir build/bench --output build/BENCH_seed.json
+
+Perf-regression gate: pass --compare <baseline.json> to diff this run
+against a committed baseline.  The check fails (exit 1) when
+  * a figure bench's wall-clock regresses by more than --wall-tolerance
+    (default 10%), or
+  * any output-shape field differs: figure-bench stdout is fully
+    deterministic (simulated times, packet counts, per-type bins), so the
+    whitespace-normalized stdout must match the baseline byte for byte.
+Baselines recorded at a different scale/seed are rejected outright.
 """
 import argparse
 import datetime
@@ -82,6 +91,64 @@ def run_micro_bench(path, min_time, timeout):
     return report
 
 
+def normalized_lines(stdout):
+    """stdout as a list of whitespace-normalized non-empty lines."""
+    return [" ".join(line.split()) for line in stdout.splitlines() if line.strip()]
+
+
+def compare_reports(baseline, report, wall_tolerance):
+    """Diffs wall-clock and output shape; returns the number of failures."""
+    failures = 0
+    base_cfg, new_cfg = baseline.get("config", {}), report.get("config", {})
+    for key in ("scale", "seed"):
+        if base_cfg.get(key) != new_cfg.get(key):
+            print(f"[FAIL] compare: baseline {key}={base_cfg.get(key)} vs "
+                  f"current {key}={new_cfg.get(key)}; rerun with matching config",
+                  file=sys.stderr)
+            return 1
+    base_by_name = {b["name"]: b for b in baseline.get("benches", [])}
+    print(f"\ncomparison vs baseline (wall tolerance {wall_tolerance:.0%}):")
+    print(f"{'bench':<22} {'base[s]':>9} {'now[s]':>9} {'speedup':>8}  shape")
+    for bench in report.get("benches", []):
+        name = bench["name"]
+        base = base_by_name.get(name)
+        if base is None:
+            print(f"{name:<22} {'-':>9} {bench['wall_seconds']:>9.3f} "
+                  f"{'-':>8}  (not in baseline)")
+            continue
+        wall_ok = bench["wall_seconds"] <= base["wall_seconds"] * (1 + wall_tolerance)
+        shape_ok = normalized_lines(bench["stdout"]) == normalized_lines(base["stdout"])
+        speedup = (base["wall_seconds"] / bench["wall_seconds"]
+                   if bench["wall_seconds"] > 0 else float("inf"))
+        verdict = "ok" if shape_ok else "MISMATCH"
+        if not wall_ok:
+            verdict += " +SLOWER"
+        print(f"{name:<22} {base['wall_seconds']:>9.3f} "
+              f"{bench['wall_seconds']:>9.3f} {speedup:>7.2f}x  {verdict}")
+        if not shape_ok:
+            base_lines = normalized_lines(base["stdout"])
+            new_lines = normalized_lines(bench["stdout"])
+            for i, (a, b) in enumerate(zip(base_lines, new_lines)):
+                if a != b:
+                    print(f"  first differing line ({i}):", file=sys.stderr)
+                    print(f"    baseline: {a}", file=sys.stderr)
+                    print(f"    current : {b}", file=sys.stderr)
+                    break
+            else:
+                print(f"  line count {len(base_lines)} -> {len(new_lines)}",
+                      file=sys.stderr)
+            failures += 1
+        if not wall_ok:
+            failures += 1
+    missing = sorted(set(base_by_name) -
+                     {b["name"] for b in report.get("benches", [])})
+    for name in missing:
+        print(f"[FAIL] compare: baseline bench {name} missing from this run",
+              file=sys.stderr)
+        failures += 1
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench-dir", required=True, help="directory with bench binaries")
@@ -92,6 +159,12 @@ def main():
     ap.add_argument("--micro-min-time", type=float, default=0.05,
                     help="google-benchmark --benchmark_min_time (default 0.05)")
     ap.add_argument("--timeout", type=float, default=600.0, help="per-binary timeout")
+    ap.add_argument("--compare", metavar="BASELINE_JSON",
+                    help="diff wall-clock and output shape against a baseline "
+                         "report; exit non-zero on regression or mismatch")
+    ap.add_argument("--wall-tolerance", type=float, default=0.10,
+                    help="allowed fractional wall-clock regression in "
+                         "--compare mode (default 0.10)")
     args = ap.parse_args()
 
     report = {
@@ -150,6 +223,12 @@ def main():
     if not report["benches"] and not report["micro"]:
         print(f"no bench binaries found in {args.bench_dir}", file=sys.stderr)
         return 1
+
+    if args.compare:
+        with open(args.compare) as f:
+            baseline = json.load(f)
+        failures += compare_reports(baseline, report, args.wall_tolerance)
+
     return 1 if failures else 0
 
 

@@ -1,0 +1,162 @@
+// Open-addressing hash map keyed by a strong Id.
+//
+// The per-link session tables (core/link_table.hpp) do one hash lookup
+// per protocol packet per hop; profiling the paper's Experiment 2 put
+// ~40% of total wall-clock inside std::unordered_map::find on those
+// tables (node-based buckets: one indirection per probe, poor locality).
+// FlatIdMap stores {key, value} slots contiguously with linear probing
+// and backward-shift deletion, so the common hit costs one multiply, one
+// mask and one or two adjacent cache lines.
+//
+// Semantics are the subset of std::unordered_map the protocol needs:
+// pointer-returning find (pointers are invalidated by rehash, i.e. by
+// any insert), try_emplace, erase, size, and unordered iteration.
+// Iteration order is unspecified but deterministic: it depends only on
+// the sequence of inserts and erases, never on allocation addresses —
+// the property every simulator-visible container here must keep.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/expect.hpp"
+#include "base/ids.hpp"
+
+namespace bneck {
+
+template <class Tag, class V>
+class FlatIdMap {
+ public:
+  using Key = Id<Tag>;
+
+  FlatIdMap() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] V* find(Key k) {
+    // The invalid id shares its representation (-1) with the empty-slot
+    // sentinel; without this guard it would "match" any empty slot.
+    if (slots_.empty() || !k.valid()) return nullptr;
+    for (std::uint32_t i = ideal(k);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.key == k.value()) return &s.value;
+      if (s.key < 0) return nullptr;
+    }
+  }
+  [[nodiscard]] const V* find(Key k) const {
+    return const_cast<FlatIdMap*>(this)->find(k);
+  }
+  [[nodiscard]] bool contains(Key k) const { return find(k) != nullptr; }
+
+  /// Inserts {k, V(args...)} if k is absent.  Returns the value slot and
+  /// whether an insert happened.  The pointer is stable until the next
+  /// insert.
+  template <class... Args>
+  std::pair<V*, bool> try_emplace(Key k, Args&&... args) {
+    BNECK_EXPECT(k.valid(), "invalid key");
+    // Existing keys must not trigger a rehash: the documented pointer
+    // stability is "until the next insert", not "until the next call".
+    if (V* existing = find(k)) return {existing, false};
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) grow();
+    for (std::uint32_t i = ideal(k);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.key < 0) {
+        s.key = k.value();
+        s.value = V(std::forward<Args>(args)...);
+        ++size_;
+        return {&s.value, true};
+      }
+    }
+  }
+
+  V& operator[](Key k) { return *try_emplace(k).first; }
+
+  /// Removes k if present; returns whether it was.  Backward-shift
+  /// deletion: no tombstones, probe chains stay short forever.  Scans to
+  /// the next empty slot, pulling back every element whose probe path
+  /// covers the hole (just "is the neighbour displaced?" is not enough:
+  /// an element two slots over may probe through the hole even when the
+  /// element in between is home).
+  bool erase(Key k) {
+    if (slots_.empty() || !k.valid()) return false;
+    std::uint32_t hole = ideal(k);
+    for (;; hole = (hole + 1) & mask_) {
+      if (slots_[hole].key == k.value()) break;
+      if (slots_[hole].key < 0) return false;
+    }
+    for (std::uint32_t j = hole;;) {
+      j = (j + 1) & mask_;
+      const Slot& n = slots_[j];
+      if (n.key < 0) break;
+      // n may fill the hole iff the hole lies on n's probe path, i.e.
+      // its ideal slot circularly precedes (or is) the hole.
+      if (((j - ideal(Key{n.key})) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = n;
+        hole = j;
+      }
+    }
+    slots_[hole].key = -1;
+    slots_[hole].value = V();
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  /// fn(Key, const V&) over all entries, in slot order (deterministic,
+  /// unspecified).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key >= 0) fn(Key{s.key}, s.value);
+    }
+  }
+
+  /// True iff pred(Key, const V&) holds for every entry; stops at the
+  /// first violation.
+  template <class Pred>
+  [[nodiscard]] bool all_of(Pred&& pred) const {
+    for (const Slot& s : slots_) {
+      if (s.key >= 0 && !pred(Key{s.key}, s.value)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::int32_t key = -1;  // -1 = empty
+    V value{};
+  };
+
+  /// Fibonacci hash of the 32-bit id: the top log2(capacity) bits of the
+  /// golden-ratio product, which mix every input bit.
+  [[nodiscard]] std::uint32_t ideal(Key k) const {
+    return (static_cast<std::uint32_t>(k.value()) * 2654435769u) >> shift_;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::size_t cap = old.empty() ? 16 : old.size() * 2;
+    slots_.assign(cap, Slot{});
+    mask_ = static_cast<std::uint32_t>(cap - 1);
+    shift_ = 32;
+    for (std::size_t c = cap; c > 1; c >>= 1) --shift_;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.key >= 0) try_emplace(Key{s.key}, std::move(s.value));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t mask_ = 0;
+  int shift_ = 28;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bneck

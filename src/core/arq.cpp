@@ -20,6 +20,8 @@ ArqChannel::ArqChannel(sim::Simulator& sim, sim::FifoChannel& data_channel,
       rng_(rng),
       deliver_(std::move(deliver)),
       on_wire_(std::move(on_wire)) {
+  data_rx_.self = this;
+  ack_rx_.self = this;
   BNECK_EXPECT(cfg_.window >= 1, "ARQ window must be positive");
   BNECK_EXPECT(cfg_.loss_probability >= 0.0 && cfg_.loss_probability < 1.0,
                "loss probability must be in [0,1)");
@@ -51,9 +53,8 @@ void ArqChannel::wire_send_data(InFlight& entry) {
     ++losses_;  // occupied the wire, never arrives
     return;
   }
-  const std::uint64_t seq = entry.seq;
-  const Packet packet = entry.packet;
-  sim_.schedule_at(arrival, [this, seq, packet] { on_data(seq, packet); });
+  sim_.schedule_delivery_at(arrival, data_rx_,
+                            DataFrame{entry.packet, entry.seq});
 }
 
 void ArqChannel::on_data(std::uint64_t seq, const Packet& p) {
@@ -73,8 +74,7 @@ void ArqChannel::send_ack() {
     ++losses_;
     return;
   }
-  const std::uint64_t cumulative = expected_;  // everything below is in
-  sim_.schedule_at(arrival, [this, cumulative] { on_ack(cumulative); });
+  sim_.schedule_delivery_at(arrival, ack_rx_, AckFrame{expected_});
 }
 
 void ArqChannel::on_ack(std::uint64_t cumulative) {

@@ -71,6 +71,26 @@ class ArqChannel {
     bool on_wire = false;  // sent at least once since the last timeout
   };
 
+  // Wire frames cross the simulator as typed events (sim/event.hpp):
+  // data frames carry {packet, seq}, ack frames the cumulative sequence
+  // number — no allocation per transmission.
+  struct DataFrame {
+    Packet packet;
+    std::uint64_t seq;
+  };
+  struct AckFrame {
+    std::uint64_t cumulative;
+  };
+  static_assert(sizeof(DataFrame) <= sim::Event::kInlinePayloadBytes);
+  struct DataRx final : sim::DeliveryHandlerOf<DataRx, DataFrame> {
+    ArqChannel* self = nullptr;
+    void on_delivery(const DataFrame& f) { self->on_data(f.seq, f.packet); }
+  };
+  struct AckRx final : sim::DeliveryHandlerOf<AckRx, AckFrame> {
+    ArqChannel* self = nullptr;
+    void on_delivery(const AckFrame& f) { self->on_ack(f.cumulative); }
+  };
+
   void wire_send_data(InFlight& entry);
   void on_data(std::uint64_t seq, const Packet& p);
   void send_ack();
@@ -93,6 +113,9 @@ class ArqChannel {
   std::uint64_t expected_ = 0;    // receiver: next in-order sequence
   std::uint64_t timer_generation_ = 0;
   bool timer_armed_ = false;
+
+  DataRx data_rx_;
+  AckRx ack_rx_;
 
   std::uint64_t data_sends_ = 0;
   std::uint64_t retx_ = 0;

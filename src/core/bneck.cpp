@@ -14,16 +14,33 @@ BneckProtocol::BneckProtocol(sim::Simulator& simulator,
       channels_(static_cast<std::size_t>(network.link_count())),
       arq_(static_cast<std::size_t>(network.link_count())),
       loss_rng_(config.loss_seed),
-      links_(static_cast<std::size_t>(network.link_count())) {
+      links_(static_cast<std::size_t>(network.link_count())),
+      sources_in_use_(static_cast<std::size_t>(network.node_count()), 0) {
   BNECK_EXPECT(cfg_.packet_bits > 0, "packet size must be positive");
   BNECK_EXPECT(cfg_.loss_probability >= 0.0 && cfg_.loss_probability < 1.0,
                "loss probability must be in [0,1)");
 }
 
+std::int32_t BneckProtocol::register_session(SessionId s) {
+  BNECK_EXPECT(s.valid(), "invalid session id");
+  BNECK_EXPECT(slot_of(s) < 0, "session ids are single-use (no re-join)");
+  const auto slot = static_cast<std::int32_t>(sessions_.size());
+  const auto v = static_cast<std::uint32_t>(s.value());
+  if (v < kDenseIdLimit) {
+    if (v >= id_to_slot_.size()) id_to_slot_.resize(v + 1, -1);
+    id_to_slot_[v] = slot;
+  } else {
+    sparse_ids_.emplace(s, slot);
+  }
+  sessions_.emplace_back();
+  sessions_.back().id = s;
+  return slot;
+}
+
 BneckProtocol::SessionRt& BneckProtocol::runtime(SessionId s) {
-  const auto it = sessions_.find(s);
-  BNECK_EXPECT(it != sessions_.end(), "unknown session");
-  return it->second;
+  const std::int32_t slot = slot_of(s);
+  BNECK_EXPECT(slot >= 0, "unknown session");
+  return sessions_[static_cast<std::size_t>(slot)];
 }
 
 RouterLink& BneckProtocol::router_link_at(LinkId e) {
@@ -46,21 +63,21 @@ void BneckProtocol::on_rate(SessionId s, Rate r) {
 }
 
 void BneckProtocol::join(SessionId s, net::Path path, Rate demand) {
-  BNECK_EXPECT(sessions_.find(s) == sessions_.end(),
+  BNECK_EXPECT(s.valid() && slot_of(s) < 0,
                "session ids are single-use (no re-join)");
   BNECK_EXPECT(path.links.size() >= 2, "path needs access links at both ends");
   const net::Link& first = net_.link(path.links.front());
   const net::Link& last = net_.link(path.links.back());
   BNECK_EXPECT(net_.is_host(first.src), "path must start at a host");
   BNECK_EXPECT(net_.is_host(last.dst), "path must end at a host");
-  auto& in_use = sources_in_use_[first.src];
+  auto& in_use = sources_in_use_[static_cast<std::size_t>(first.src.value())];
   BNECK_EXPECT(cfg_.shared_access_links || in_use == 0,
                "one session per source host (set shared_access_links to "
                "lift the paper's simplification)");
   ++in_use;
 
-  auto [it, inserted] = sessions_.try_emplace(s);
-  SessionRt& rt = it->second;
+  const std::int32_t slot = register_session(s);
+  SessionRt& rt = sessions_[static_cast<std::size_t>(slot)];
   rt.path = std::move(path);
   rt.demand = demand;
   if (cfg_.shared_access_links) {
@@ -91,7 +108,8 @@ void BneckProtocol::leave(SessionId s) {
   rt.source.reset();
   rt.notified.reset();
   --active_count_;
-  --sources_in_use_[net_.link(rt.path.links.front()).src];
+  const NodeId src = net_.link(rt.path.links.front()).src;
+  --sources_in_use_[static_cast<std::size_t>(src.value())];
 }
 
 void BneckProtocol::change(SessionId s, Rate demand) {
@@ -102,22 +120,23 @@ void BneckProtocol::change(SessionId s, Rate demand) {
 }
 
 bool BneckProtocol::is_active(SessionId s) const {
-  const auto it = sessions_.find(s);
-  return it != sessions_.end() && it->second.source != nullptr;
+  const std::int32_t slot = slot_of(s);
+  return slot >= 0 &&
+         sessions_[static_cast<std::size_t>(slot)].source != nullptr;
 }
 
 std::optional<Rate> BneckProtocol::notified_rate(SessionId s) const {
-  const auto it = sessions_.find(s);
-  if (it == sessions_.end()) return std::nullopt;
-  return it->second.notified;
+  const std::int32_t slot = slot_of(s);
+  if (slot < 0) return std::nullopt;
+  return sessions_[static_cast<std::size_t>(slot)].notified;
 }
 
 std::vector<SessionSpec> BneckProtocol::active_specs() const {
   std::vector<SessionSpec> specs;
   specs.reserve(active_count_);
-  for (const auto& [s, rt] : sessions_) {
+  for (const SessionRt& rt : sessions_) {
     if (rt.source == nullptr) continue;
-    specs.push_back(SessionSpec{s, rt.path, rt.demand});
+    specs.push_back(SessionSpec{rt.id, rt.path, rt.demand});
   }
   std::sort(specs.begin(), specs.end(),
             [](const SessionSpec& a, const SessionSpec& b) { return a.id < b.id; });
@@ -128,7 +147,7 @@ bool BneckProtocol::all_tasks_stable() const {
   for (const auto& link : links_) {
     if (link && !link->stable()) return false;
   }
-  for (const auto& [s, rt] : sessions_) {
+  for (const SessionRt& rt : sessions_) {
     if (rt.source && !rt.source->stable()) return false;
   }
   return true;
@@ -186,12 +205,13 @@ void BneckProtocol::transmit(Packet p, LinkId physical, std::int32_t to_hop) {
   if (cfg_.loss_probability > 0 && loss_rng_.chance(cfg_.loss_probability)) {
     return;  // the paper's reliability assumption, violated on purpose
   }
-  sim_.schedule_at(arrival, [this, p] { deliver(p); });
+  sim_.schedule_delivery_at(arrival, *this, p);
 }
 
 std::uint64_t BneckProtocol::probe_cycles(SessionId s) const {
-  const auto it = sessions_.find(s);
-  return it != sessions_.end() ? it->second.probe_cycles : 0;
+  const std::int32_t slot = slot_of(s);
+  return slot >= 0 ? sessions_[static_cast<std::size_t>(slot)].probe_cycles
+                   : 0;
 }
 
 void BneckProtocol::send_downstream(Packet p, std::int32_t from_hop) {
@@ -210,7 +230,7 @@ void BneckProtocol::send_downstream(Packet p, std::int32_t from_hop) {
     // Shared-access extension: host-internal handoff from the source
     // task to the access link's RouterLink — no physical crossing.
     p.hop = 0;
-    sim_.schedule_in(0, [this, p] { deliver(p); });
+    sim_.schedule_delivery_in(0, *this, p);
     return;
   }
   transmit(p, rt.path.links[static_cast<std::size_t>(from_hop)], from_hop + 1);
@@ -227,7 +247,7 @@ void BneckProtocol::send_upstream(Packet p, std::int32_t from_hop) {
     // the co-located source task directly.
     BNECK_EXPECT(cfg_.shared_access_links, "upstream from hop 0");
     p.hop = -1;
-    sim_.schedule_in(0, [this, p] { deliver(p); });
+    sim_.schedule_delivery_in(0, *this, p);
     return;
   }
   const std::int32_t to_hop = from_hop - 1;

@@ -67,7 +67,11 @@ struct BneckConfig {
   std::uint64_t loss_seed = 0x10552024;
 };
 
-class BneckProtocol final : public Transport {
+class BneckProtocol final
+    : public Transport,
+      public sim::DeliveryHandlerOf<BneckProtocol, Packet> {
+  friend sim::DeliveryHandlerOf<BneckProtocol, Packet>;
+
  public:
   BneckProtocol(sim::Simulator& simulator, const net::Network& network,
                 BneckConfig config = {}, TraceSink* trace = nullptr);
@@ -139,6 +143,7 @@ class BneckProtocol final : public Transport {
 
  private:
   struct SessionRt {
+    SessionId id;
     net::Path path;
     Rate demand = kRateInfinity;         // requested maximum rate r_s
     std::unique_ptr<SourceNode> source;  // null once the session left
@@ -146,11 +151,24 @@ class BneckProtocol final : public Transport {
     std::uint64_t probe_cycles = 0;      // Join + re-probes emitted
   };
 
+  /// Slot of a session in sessions_, or -1 if the id was never joined.
+  /// One array index for dense ids (the experiment harnesses allocate
+  /// them sequentially); arbitrary sparse ids fall back to a map.
+  [[nodiscard]] std::int32_t slot_of(SessionId s) const {
+    const auto v = static_cast<std::uint32_t>(s.value());
+    if (v < id_to_slot_.size()) return id_to_slot_[v];
+    if (v < kDenseIdLimit) return -1;
+    const auto it = sparse_ids_.find(s);
+    return it != sparse_ids_.end() ? it->second : -1;
+  }
+  std::int32_t register_session(SessionId s);  // new slot; rejects reuse
+
   SessionRt& runtime(SessionId s);
   RouterLink& router_link_at(LinkId e);
   ArqChannel& arq_channel_at(LinkId physical);
   void transmit(Packet p, LinkId physical, std::int32_t to_hop);
   void deliver(const Packet& p);
+  void on_delivery(const Packet& p) { deliver(p); }
   void on_rate(SessionId s, Rate r);
   [[nodiscard]] TimeNs tx_time(const net::Link& l) const;
 
@@ -164,10 +182,22 @@ class BneckProtocol final : public Transport {
   std::vector<std::unique_ptr<ArqChannel>> arq_;     // per directed link, lazy
   Rng loss_rng_;
   std::vector<std::unique_ptr<RouterLink>> links_;   // per directed link, lazy
-  std::unordered_map<SessionId, SessionRt> sessions_;  // incl. tombstones
-  // Active sessions per source host; enforces the paper's one-session-
-  // per-host model unless shared_access_links is set.
-  std::unordered_map<NodeId, std::int32_t> sources_in_use_;
+
+  // Dense session table: session runtime state lives in a slot-indexed
+  // vector; ids resolve to slots through a flat vector, so the two
+  // per-packet lookups that used to hash into unordered_map are now
+  // plain array reads.  Departed sessions keep their slot as a tombstone
+  // (path retained to route in-flight packets) which also rejects id
+  // reuse, as before.  join() may reallocate the vector, so API calls
+  // must not be made re-entrantly from a rate callback (schedule them on
+  // the simulator instead — every harness in this repo already does).
+  static constexpr std::uint32_t kDenseIdLimit = 1u << 22;
+  std::vector<SessionRt> sessions_;
+  std::vector<std::int32_t> id_to_slot_;               // ids < kDenseIdLimit
+  std::unordered_map<SessionId, std::int32_t> sparse_ids_;  // the rest
+  // Active sessions per source host node id; enforces the paper's one-
+  // session-per-host model unless shared_access_links is set.
+  std::vector<std::int32_t> sources_in_use_;
   std::size_t active_count_ = 0;
   std::uint64_t packets_sent_ = 0;
   TimeNs last_packet_time_ = 0;

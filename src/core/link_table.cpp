@@ -21,30 +21,6 @@ LinkSessionTable::LinkSessionTable(Rate capacity) : capacity_(capacity) {
   BNECK_EXPECT(capacity > 0, "link capacity must be positive");
 }
 
-const LinkSessionTable::Rec& LinkSessionTable::rec(SessionId s) const {
-  const auto it = recs_.find(s);
-  BNECK_EXPECT(it != recs_.end(), "unknown session at link");
-  return it->second;
-}
-
-LinkSessionTable::Rec& LinkSessionTable::rec(SessionId s) {
-  const auto it = recs_.find(s);
-  BNECK_EXPECT(it != recs_.end(), "unknown session at link");
-  return it->second;
-}
-
-Rate LinkSessionTable::be() const {
-  if (r_count_ == 0) return kRateInfinity;
-  return (capacity_ - static_cast<Rate>(f_sum_)) /
-         static_cast<Rate>(r_count_);
-}
-
-void LinkSessionTable::index_remove(Index& idx, Rate lambda, SessionId s) {
-  const auto it = idx.find({lambda, s});
-  BNECK_EXPECT(it != idx.end(), "index entry missing");
-  idx.erase(it);
-}
-
 void LinkSessionTable::insert_R(SessionId s, std::int32_t hop) {
   const bool inserted =
       recs_.try_emplace(s, Rec{Mu::WaitingResponse, 0, true, hop}).second;
@@ -53,18 +29,18 @@ void LinkSessionTable::insert_R(SessionId s, std::int32_t hop) {
 }
 
 void LinkSessionTable::erase(SessionId s) {
-  const auto it = recs_.find(s);
-  BNECK_EXPECT(it != recs_.end(), "erase of unknown session");
-  const Rec& r = it->second;
+  const Rec* found = recs_.find(s);
+  BNECK_EXPECT(found != nullptr, "erase of unknown session");
+  const Rec r = *found;  // copy: recs_.erase shifts slots
   if (r.in_r) {
-    if (r.mu == Mu::Idle) index_remove(idle_r_, r.lambda, s);
+    if (r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
     --r_count_;
   } else {
-    index_remove(f_, r.lambda, s);
+    f_.erase(r.lambda, s);
     f_sum_ -= r.lambda;
     ++f_mutations_;
   }
-  recs_.erase(it);
+  recs_.erase(s);
   // Long runs of joins/leaves accumulate floating drift in the running
   // Fe sum; rebuild it exactly every so often.
   if (f_.empty()) {
@@ -72,7 +48,7 @@ void LinkSessionTable::erase(SessionId s) {
   } else if (f_mutations_ >= 65536) {
     f_mutations_ = 0;
     long double sum = 0;
-    for (const auto& [lambda, sid] : f_) sum += lambda;
+    f_.for_each([&sum](Rate lambda, SessionId) { sum += lambda; });
     f_sum_ = sum;
   }
 }
@@ -80,22 +56,22 @@ void LinkSessionTable::erase(SessionId s) {
 void LinkSessionTable::move_to_R(SessionId s) {
   Rec& r = rec(s);
   BNECK_EXPECT(!r.in_r, "move_to_R: already in Re");
-  index_remove(f_, r.lambda, s);
+  f_.erase(r.lambda, s);
   f_sum_ -= r.lambda;
   ++f_mutations_;
   if (f_.empty()) f_sum_ = 0;
   r.in_r = true;
   ++r_count_;
-  if (r.mu == Mu::Idle) idle_r_.insert({r.lambda, s});
+  if (r.mu == Mu::Idle) idle_r_.insert(r.lambda, s);
 }
 
 void LinkSessionTable::move_to_F(SessionId s) {
   Rec& r = rec(s);
   BNECK_EXPECT(r.in_r, "move_to_F: not in Re");
-  if (r.mu == Mu::Idle) index_remove(idle_r_, r.lambda, s);
+  if (r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
   r.in_r = false;
   --r_count_;
-  f_.insert({r.lambda, s});
+  f_.insert(r.lambda, s);
   f_sum_ += r.lambda;
   ++f_mutations_;
 }
@@ -103,26 +79,26 @@ void LinkSessionTable::move_to_F(SessionId s) {
 void LinkSessionTable::set_mu(SessionId s, Mu m) {
   Rec& r = rec(s);
   if (r.mu == m) return;
-  if (r.in_r && r.mu == Mu::Idle) index_remove(idle_r_, r.lambda, s);
+  if (r.in_r && r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
   r.mu = m;
-  if (r.in_r && r.mu == Mu::Idle) idle_r_.insert({r.lambda, s});
+  if (r.in_r && r.mu == Mu::Idle) idle_r_.insert(r.lambda, s);
 }
 
 void LinkSessionTable::set_idle_with_lambda(SessionId s, Rate lambda) {
   Rec& r = rec(s);
-  if (r.in_r && r.mu == Mu::Idle) index_remove(idle_r_, r.lambda, s);
+  if (r.in_r && r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
   const bool was_f = !r.in_r;
   if (was_f) {
-    index_remove(f_, r.lambda, s);
+    f_.erase(r.lambda, s);
     f_sum_ -= r.lambda;
     ++f_mutations_;
   }
   r.lambda = lambda;
   r.mu = Mu::Idle;
   if (r.in_r) {
-    idle_r_.insert({lambda, s});
+    idle_r_.insert(lambda, s);
   } else {
-    f_.insert({lambda, s});
+    f_.insert(lambda, s);
     f_sum_ += lambda;
   }
 }
@@ -130,71 +106,63 @@ void LinkSessionTable::set_idle_with_lambda(SessionId s, Rate lambda) {
 bool LinkSessionTable::all_R_idle_at_be() const {
   if (r_count_ == 0 || idle_r_.size() != r_count_) return false;
   const Rate b = be();
-  return rate_eq(idle_r_.begin()->first, b) &&
-         rate_eq(idle_r_.rbegin()->first, b);
+  return rate_eq(idle_r_.min_rate(), b) && rate_eq(idle_r_.max_rate(), b);
 }
 
 bool LinkSessionTable::exists_F_ge_be() const {
-  return !f_.empty() && rate_ge(f_.rbegin()->first, be());
+  return !f_.empty() && rate_ge(f_.max_rate(), be());
 }
 
 Rate LinkSessionTable::max_F_lambda() const {
   BNECK_EXPECT(!f_.empty(), "max over empty Fe");
-  return f_.rbegin()->first;
+  return f_.max_rate();
 }
 
-std::vector<SessionId> LinkSessionTable::F_at(Rate value) const {
-  std::vector<SessionId> out;
+void LinkSessionTable::F_at(Rate value, std::vector<SessionId>& out) const {
+  out.clear();
   const auto [lo, hi] = window(value);
-  for (auto it = f_.lower_bound({lo, SessionId{}});
-       it != f_.end() && it->first <= hi; ++it) {
-    if (rate_eq(it->first, value)) out.push_back(it->second);
-  }
-  return out;
+  f_.for_window(lo, hi, [&](Rate r, SessionId s) {
+    if (rate_eq(r, value)) out.push_back(s);
+  });
 }
 
-std::vector<SessionId> LinkSessionTable::idle_R_above(Rate threshold) const {
-  std::vector<SessionId> out;
+void LinkSessionTable::idle_R_above(Rate threshold,
+                                    std::vector<SessionId>& out) const {
+  out.clear();
   const auto [lo, hi] = window(threshold);
   (void)hi;
-  for (auto it = idle_r_.lower_bound({lo, SessionId{}}); it != idle_r_.end();
-       ++it) {
-    if (rate_gt(it->first, threshold)) out.push_back(it->second);
-  }
-  return out;
+  idle_r_.for_from(lo, [&](Rate r, SessionId s) {
+    if (rate_gt(r, threshold)) out.push_back(s);
+  });
 }
 
-std::vector<SessionId> LinkSessionTable::idle_R_at(Rate value,
-                                                   SessionId exclude) const {
-  std::vector<SessionId> out;
-  if (r_count_ == 0) return out;
+void LinkSessionTable::idle_R_at(Rate value, SessionId exclude,
+                                 std::vector<SessionId>& out) const {
+  out.clear();
+  if (r_count_ == 0) return;
   const auto [lo, hi] = window(value);
-  for (auto it = idle_r_.lower_bound({lo, SessionId{}});
-       it != idle_r_.end() && it->first <= hi; ++it) {
-    if (it->second != exclude && rate_eq(it->first, value)) {
-      out.push_back(it->second);
-    }
-  }
-  return out;
+  idle_r_.for_window(lo, hi, [&](Rate r, SessionId s) {
+    if (s != exclude && rate_eq(r, value)) out.push_back(s);
+  });
 }
 
-std::vector<SessionId> LinkSessionTable::idle_R_all(SessionId exclude) const {
-  std::vector<SessionId> out;
+void LinkSessionTable::idle_R_all(SessionId exclude,
+                                  std::vector<SessionId>& out) const {
+  out.clear();
   out.reserve(idle_r_.size());
-  for (const auto& [lambda, s] : idle_r_) {
+  idle_r_.for_each([&](Rate, SessionId s) {
     if (s != exclude) out.push_back(s);
-  }
-  return out;
+  });
 }
 
 bool LinkSessionTable::stable() const {
   const Rate b = be();
-  for (const auto& [s, r] : recs_) {
+  return recs_.all_of([&](SessionId, const Rec& r) {
     if (r.mu != Mu::Idle) return false;
     if (r.in_r && !rate_eq(r.lambda, b)) return false;
     if (!r.in_r && r_count_ > 0 && !rate_lt(r.lambda, b)) return false;
-  }
-  return true;
+    return true;
+  });
 }
 
 }  // namespace bneck::core

@@ -7,8 +7,8 @@
 //
 // The pseudocode's predicates are set-level quantifications; this table
 // maintains two ordered indexes — (λ, s) over *idle Re* sessions and over
-// *Fe* sessions — plus running aggregates (Σ_{Fe} λ, |Re|), so each
-// predicate is answered in O(log n):
+// *Fe* sessions (core/rate_index.hpp) — plus running aggregates
+// (Σ_{Fe} λ, |Re|), so each predicate is answered in O(log n):
 //   Be              = (Ce − Σ_{Fe} λ) / |Re|        (+inf when Re = ∅)
 //   all_R_idle_at_be: ∀r∈Re, λ = Be ∧ µ = IDLE      (bottleneck detection)
 //   exists F λ ≥ Be, max/argmax over Fe             (ProcessNewRestricted)
@@ -19,14 +19,14 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "base/expect.hpp"
+#include "base/flat_hash.hpp"
 #include "base/ids.hpp"
 #include "base/rate.hpp"
+#include "core/rate_index.hpp"
 
 namespace bneck::core {
 
@@ -46,7 +46,7 @@ class LinkSessionTable {
   explicit LinkSessionTable(Rate capacity);
 
   [[nodiscard]] Rate capacity() const { return capacity_; }
-  [[nodiscard]] bool contains(SessionId s) const { return recs_.count(s) > 0; }
+  [[nodiscard]] bool contains(SessionId s) const { return recs_.contains(s); }
   [[nodiscard]] bool in_R(SessionId s) const { return rec(s).in_r; }
   [[nodiscard]] Mu mu(SessionId s) const { return rec(s).mu; }
   [[nodiscard]] Rate lambda(SessionId s) const { return rec(s).lambda; }
@@ -60,7 +60,11 @@ class LinkSessionTable {
 
   /// Bottleneck rate estimate Be = (Ce − Σ_{Fe} λ)/|Re|; +inf when Re=∅.
   /// May transiently be negative inside ProcessNewRestricted loops.
-  [[nodiscard]] Rate be() const;
+  [[nodiscard]] Rate be() const {
+    if (r_count_ == 0) return kRateInfinity;
+    return (capacity_ - static_cast<Rate>(f_sum_)) /
+           static_cast<Rate>(r_count_);
+  }
 
   // ---- mutations (all keep the indexes consistent) ----
 
@@ -92,20 +96,46 @@ class LinkSessionTable {
   /// max λ over Fe.  Requires Fe ≠ ∅.
   [[nodiscard]] Rate max_F_lambda() const;
 
+  // The set-valued queries fill a caller-provided vector (cleared first)
+  // so per-packet callers can reuse one scratch buffer instead of
+  // allocating a result vector per packet; the returning overloads are
+  // conveniences for tests and cold paths.
+
   /// {s ∈ Fe : λ ≈ value}.
-  [[nodiscard]] std::vector<SessionId> F_at(Rate value) const;
+  void F_at(Rate value, std::vector<SessionId>& out) const;
+  [[nodiscard]] std::vector<SessionId> F_at(Rate value) const {
+    std::vector<SessionId> out;
+    F_at(value, out);
+    return out;
+  }
 
   /// {s ∈ Re : µ = IDLE ∧ λ > threshold} (strictly, beyond tolerance).
-  [[nodiscard]] std::vector<SessionId> idle_R_above(Rate threshold) const;
+  void idle_R_above(Rate threshold, std::vector<SessionId>& out) const;
+  [[nodiscard]] std::vector<SessionId> idle_R_above(Rate threshold) const {
+    std::vector<SessionId> out;
+    idle_R_above(threshold, out);
+    return out;
+  }
 
   /// {s ∈ Re \ {exclude} : µ = IDLE ∧ λ ≈ value}.
+  void idle_R_at(Rate value, SessionId exclude,
+                 std::vector<SessionId>& out) const;
   [[nodiscard]] std::vector<SessionId> idle_R_at(
-      Rate value, SessionId exclude = SessionId{}) const;
+      Rate value, SessionId exclude = SessionId{}) const {
+    std::vector<SessionId> out;
+    idle_R_at(value, exclude, out);
+    return out;
+  }
 
   /// All sessions of Re except `exclude`.  Intended for the bottleneck
   /// broadcast, where all of Re is idle; returns them in rate order.
+  void idle_R_all(SessionId exclude, std::vector<SessionId>& out) const;
   [[nodiscard]] std::vector<SessionId> idle_R_all(
-      SessionId exclude = SessionId{}) const;
+      SessionId exclude = SessionId{}) const {
+    std::vector<SessionId> out;
+    idle_R_all(exclude, out);
+    return out;
+  }
 
   /// Link stability (paper Definition 2, per-link part): every session
   /// idle; every Re rate equals Be; if Re ≠ ∅, every Fe rate < Be.
@@ -114,7 +144,8 @@ class LinkSessionTable {
   /// Iterates (session, in_r, mu, lambda) for diagnostics/tests.
   template <class Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [s, r] : recs_) fn(s, r.in_r, r.mu, r.lambda);
+    recs_.for_each(
+        [&fn](SessionId s, const Rec& r) { fn(s, r.in_r, r.mu, r.lambda); });
   }
 
  private:
@@ -124,16 +155,24 @@ class LinkSessionTable {
     bool in_r = true;
     std::int32_t hop = 0;
   };
-  using Index = std::multiset<std::pair<Rate, SessionId>>;
+  using Index = RateIndex;
 
-  const Rec& rec(SessionId s) const;
-  Rec& rec(SessionId s);
-  void index_remove(Index& idx, Rate lambda, SessionId s);
-  // Adds/removes s from idle_r_ according to its current state.
-  void sync_idle_index(SessionId s, const Rec& r, bool present);
+  // Hot per-packet accessors, inline on purpose.
+  const Rec& rec(SessionId s) const {
+    const Rec* r = recs_.find(s);
+    BNECK_EXPECT(r != nullptr, "unknown session at link");
+    return *r;
+  }
+  Rec& rec(SessionId s) {
+    Rec* r = recs_.find(s);
+    BNECK_EXPECT(r != nullptr, "unknown session at link");
+    return *r;
+  }
 
   Rate capacity_;
-  std::unordered_map<SessionId, Rec> recs_;
+  // One lookup per packet per hop: the open-addressing map is the hot
+  // container of the whole simulation (see base/flat_hash.hpp).
+  FlatIdMap<SessionTag, Rec> recs_;
   Index idle_r_;  // (λ, s) for s ∈ Re with µ = IDLE
   Index f_;       // (λ, s) for s ∈ Fe
   std::size_t r_count_ = 0;

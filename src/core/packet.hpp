@@ -39,15 +39,20 @@ constexpr int kPacketTypeCount = 7;
 /// τ of a Response packet.
 enum class ResponseTag : std::uint8_t { Response, Update, Bottleneck };
 
+// Field order packs the struct into 24 bytes (8-byte rate first, then
+// the 32-bit ids, then the flag bytes) so a packet fits a typed
+// simulator event's inline buffer (sim/event.hpp) alongside the ARQ
+// framing — every wire crossing is one allocation-free event.
 struct Packet {
-  PacketType type = PacketType::Join;
-  SessionId session;
-  ResponseTag tag = ResponseTag::Response;  // Response only
   Rate lambda = 0;                          // Join / Probe / Response
+  SessionId session;
   LinkId eta;                               // Join / Probe / Response
-  bool beta = false;                        // SetBottleneck only
   std::int32_t hop = 0;                     // next processing hop
+  PacketType type = PacketType::Join;
+  ResponseTag tag = ResponseTag::Response;  // Response only
+  bool beta = false;                        // SetBottleneck only
 };
+static_assert(sizeof(Packet) == 24, "keep Packet one inline event payload");
 
 /// True for packet types that travel from source towards destination.
 constexpr bool is_downstream(PacketType t) {

@@ -1,0 +1,128 @@
+// Ordered (rate, session) index of the per-link session table.
+//
+// Replaces std::multiset<std::pair<Rate, SessionId>> on the packet hot
+// path.  The key observation: a link's sessions cluster on very few
+// distinct rate values (every Re session converges to the same Be, Fe
+// sessions to the Be of their own bottlenecks), so the index is two
+// small sorted vectors instead of a red-black tree — a `levels` vector
+// ordered by rate, each level holding its member sessions ordered by id.
+// Lookups bsearch the level array (a cache line or two), mutations
+// memmove within one contiguous bucket, and iteration is linear scans —
+// no pointer chasing, no node allocation.
+//
+// Iteration visits (rate ascending, session id ascending within a rate):
+// exactly the order std::multiset<pair> gave, which the protocol's
+// packet-emission order — and therefore the simulation's determinism
+// contract — depends on.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "base/expect.hpp"
+#include "base/ids.hpp"
+#include "base/rate.hpp"
+
+namespace bneck::core {
+
+class RateIndex {
+ public:
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Smallest / largest rate present.  Require !empty().
+  [[nodiscard]] Rate min_rate() const {
+    BNECK_EXPECT(!levels_.empty(), "min of empty index");
+    return levels_.front().rate;
+  }
+  [[nodiscard]] Rate max_rate() const {
+    BNECK_EXPECT(!levels_.empty(), "max of empty index");
+    return levels_.back().rate;
+  }
+
+  void insert(Rate rate, SessionId s) {
+    auto lv = level_lower_bound(rate);
+    if (lv == levels_.end() || lv->rate != rate) {
+      lv = levels_.insert(lv, Level{rate, take_spare()});
+    }
+    auto& m = lv->members;
+    m.insert(std::lower_bound(m.begin(), m.end(), s), s);
+    ++size_;
+  }
+
+  /// Removes an entry that must be present (mirrors the old index_remove
+  /// invariant).
+  void erase(Rate rate, SessionId s) {
+    const auto lv = level_lower_bound(rate);
+    BNECK_EXPECT(lv != levels_.end() && lv->rate == rate,
+                 "index entry missing");
+    auto& m = lv->members;
+    const auto it = std::lower_bound(m.begin(), m.end(), s);
+    BNECK_EXPECT(it != m.end() && *it == s, "index entry missing");
+    m.erase(it);
+    --size_;
+    if (m.empty()) {
+      give_spare(std::move(m));
+      levels_.erase(lv);
+    }
+  }
+
+  /// fn(rate, session) over every entry, in (rate, session) order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const Level& lv : levels_) {
+      for (const SessionId s : lv.members) fn(lv.rate, s);
+    }
+  }
+
+  /// for_each restricted to levels with rate in [lo, hi].
+  template <class Fn>
+  void for_window(Rate lo, Rate hi, Fn&& fn) const {
+    for (auto lv = level_lower_bound(lo); lv != levels_.end() && lv->rate <= hi;
+         ++lv) {
+      for (const SessionId s : lv->members) fn(lv->rate, s);
+    }
+  }
+
+  /// for_each restricted to levels with rate >= lo.
+  template <class Fn>
+  void for_from(Rate lo, Fn&& fn) const {
+    for (auto lv = level_lower_bound(lo); lv != levels_.end(); ++lv) {
+      for (const SessionId s : lv->members) fn(lv->rate, s);
+    }
+  }
+
+ private:
+  struct Level {
+    Rate rate;
+    std::vector<SessionId> members;  // ascending id
+  };
+
+  [[nodiscard]] std::vector<Level>::iterator level_lower_bound(Rate rate) {
+    return std::lower_bound(
+        levels_.begin(), levels_.end(), rate,
+        [](const Level& lv, Rate r) { return lv.rate < r; });
+  }
+  [[nodiscard]] std::vector<Level>::const_iterator level_lower_bound(
+      Rate rate) const {
+    return std::lower_bound(
+        levels_.begin(), levels_.end(), rate,
+        [](const Level& lv, Rate r) { return lv.rate < r; });
+  }
+
+  std::vector<SessionId> take_spare() {
+    if (spare_.empty()) return {};
+    std::vector<SessionId> v = std::move(spare_.back());
+    spare_.pop_back();
+    return v;
+  }
+  void give_spare(std::vector<SessionId> v) {
+    if (spare_.size() < 4) spare_.push_back(std::move(v));  // keep capacity
+  }
+
+  std::vector<Level> levels_;           // ascending rate
+  std::vector<std::vector<SessionId>> spare_;  // recycled member buffers
+  std::size_t size_ = 0;
+};
+
+}  // namespace bneck::core

@@ -13,13 +13,14 @@ void RouterLink::kick(SessionId s) {
 void RouterLink::process_new_restricted() {
   // while ∃s ∈ Fe : λes ≥ Be — move the maximal-rate Fe sessions to Re.
   while (table_.f_size() > 0 && table_.exists_F_ge_be()) {
-    const Rate max_lambda = table_.max_F_lambda();
-    for (const SessionId r : table_.F_at(max_lambda)) {
+    table_.F_at(table_.max_F_lambda(), scratch_);
+    for (const SessionId r : scratch_) {
       table_.move_to_R(r);
     }
   }
   // foreach s ∈ Re : µ = IDLE ∧ λes > Be — their rate must shrink.
-  for (const SessionId s : table_.idle_R_above(table_.be())) {
+  table_.idle_R_above(table_.be(), scratch_);
+  for (const SessionId s : scratch_) {
     kick(s);
   }
 }
@@ -73,7 +74,8 @@ void RouterLink::on_response(const Packet& p, std::int32_t hop) {
     if (table_.all_R_idle_at_be()) {
       q.tag = ResponseTag::Bottleneck;
       q.eta = id_;
-      for (const SessionId r : table_.idle_R_all(q.session)) {
+      table_.idle_R_all(q.session, scratch_);
+      for (const SessionId r : scratch_) {
         Packet b;
         b.type = PacketType::Bottleneck;
         b.session = r;
@@ -112,7 +114,8 @@ void RouterLink::on_set_bottleneck(const Packet& p, std::int32_t hop) {
     // The session is restricted elsewhere: move it to Fe.  Idle sessions
     // pinned at the current Be gain headroom from the move, so re-probe
     // them (computed before the move, as in the pseudocode).
-    for (const SessionId r : table_.idle_R_at(be, p.session)) {
+    table_.idle_R_at(be, p.session, scratch_);
+    for (const SessionId r : scratch_) {
       kick(r);
     }
     table_.move_to_F(p.session);
@@ -128,9 +131,9 @@ void RouterLink::on_set_bottleneck(const Packet& p, std::int32_t hop) {
 void RouterLink::on_leave(const Packet& p, std::int32_t hop) {
   // R' is computed against Be *before* the departure; the departure can
   // only raise Be, so these sessions may deserve more bandwidth.
-  const std::vector<SessionId> pinned = table_.idle_R_at(table_.be(), p.session);
+  table_.idle_R_at(table_.be(), p.session, scratch_);
   table_.erase(p.session);
-  for (const SessionId r : pinned) {
+  for (const SessionId r : scratch_) {
     kick(r);
   }
   transport_.send_downstream(p, hop);

@@ -11,6 +11,8 @@
 // the discrete-event simulator.
 #pragma once
 
+#include <vector>
+
 #include "core/link_table.hpp"
 #include "core/packet.hpp"
 
@@ -59,6 +61,11 @@ class RouterLink {
   LinkId id_;
   LinkSessionTable table_;
   Transport& transport_;
+  // Reused buffer for the table's set-valued queries; the handlers never
+  // overlap two live query results, and packet handling is synchronous
+  // (emitted packets are delivered by later simulator events), so one
+  // buffer per link suffices and saves an allocation per query.
+  std::vector<SessionId> scratch_;
 };
 
 }  // namespace bneck::core

@@ -118,7 +118,7 @@ void CellProtocolBase::transmit(Cell cell, LinkId physical) {
           sim_.now(), tx, l.prop_delay);
   ++packets_;
   if (packet_listener_) packet_listener_(sim_.now());
-  sim_.schedule_at(arrival, [this, cell = std::move(cell)] { deliver(cell); });
+  sim_.schedule_delivery_at(arrival, *this, cell);
 }
 
 void CellProtocolBase::move_backward(Cell cell) {

@@ -32,7 +32,23 @@ struct CellConfig {
   std::int64_t packet_bits = 512;
 };
 
-class CellProtocolBase : public FairShareProtocol {
+/// The RM cell payload crossing the wire.  Trivially copyable and small
+/// on purpose: each hop is scheduled as an allocation-free typed
+/// simulator event (sim/event.hpp) with the cell stored inline.
+struct Cell {
+  Rate field = kRateInfinity;  // rate offer being collected
+  Rate declared = 0;           // the source's current rate (read-only)
+  SessionId s;
+  std::int32_t hop = 0;
+  bool forward = true;
+};
+static_assert(sizeof(Cell) <= sim::Event::kInlinePayloadBytes);
+
+class CellProtocolBase
+    : public FairShareProtocol,
+      private sim::DeliveryHandlerOf<CellProtocolBase, Cell> {
+  friend sim::DeliveryHandlerOf<CellProtocolBase, Cell>;
+
  public:
   CellProtocolBase(sim::Simulator& simulator, const net::Network& network,
                    CellConfig config);
@@ -49,14 +65,6 @@ class CellProtocolBase : public FairShareProtocol {
   void shutdown() override { running_ = false; }
 
  protected:
-  struct Cell {
-    SessionId s;
-    Rate field = kRateInfinity;  // rate offer being collected
-    Rate declared = 0;           // the source's current rate (read-only)
-    std::int32_t hop = 0;
-    bool forward = true;
-  };
-
   struct Session {
     net::Path path;
     Rate demand = kRateInfinity;
@@ -92,6 +100,7 @@ class CellProtocolBase : public FairShareProtocol {
   void move_backward(Cell cell);
   void transmit(Cell cell, LinkId physical);
   void deliver(Cell cell);
+  void on_delivery(const Cell& cell) { deliver(cell); }
 
   sim::Simulator& sim_;
   const net::Network& net_;

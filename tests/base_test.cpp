@@ -2,10 +2,13 @@
 // deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <random>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "base/expect.hpp"
+#include "base/flat_hash.hpp"
 #include "base/ids.hpp"
 #include "base/rate.hpp"
 #include "base/rng.hpp"
@@ -228,6 +231,101 @@ TEST(Expect, MessageContainsContext) {
     EXPECT_NE(msg.find("math broke"), std::string::npos);
     EXPECT_NE(msg.find("1 == 2"), std::string::npos);
   }
+}
+
+// ---- FlatIdMap (base/flat_hash.hpp) ----
+
+TEST(FlatIdMap, BasicInsertFindErase) {
+  FlatIdMap<SessionTag, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(SessionId{3}), nullptr);
+  EXPECT_FALSE(m.erase(SessionId{3}));
+
+  EXPECT_TRUE(m.try_emplace(SessionId{3}, 30).second);
+  EXPECT_FALSE(m.try_emplace(SessionId{3}, 99).second);  // no overwrite
+  ASSERT_NE(m.find(SessionId{3}), nullptr);
+  EXPECT_EQ(*m.find(SessionId{3}), 30);
+  EXPECT_EQ(m.size(), 1u);
+
+  m[SessionId{4}] = 40;
+  EXPECT_EQ(*m.find(SessionId{4}), 40);
+  EXPECT_TRUE(m.erase(SessionId{3}));
+  EXPECT_EQ(m.find(SessionId{3}), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatIdMap, MatchesUnorderedMapUnderRandomChurn) {
+  // Exercises growth, collisions and the backward-shift deletion against
+  // a reference std::unordered_map.
+  std::mt19937_64 rng(77);
+  FlatIdMap<SessionTag, int> fm;
+  std::unordered_map<std::int32_t, int> um;
+  for (int op = 0; op < 20000; ++op) {
+    const auto k = static_cast<std::int32_t>(rng() % 512);
+    switch (rng() % 3) {
+      case 0:
+        fm.try_emplace(SessionId{k}, op);
+        um.try_emplace(k, op);
+        break;
+      case 1:
+        EXPECT_EQ(fm.erase(SessionId{k}), um.erase(k) > 0);
+        break;
+      default: {
+        const int* p = fm.find(SessionId{k});
+        const auto it = um.find(k);
+        ASSERT_EQ(p != nullptr, it != um.end());
+        if (p != nullptr) {
+          EXPECT_EQ(*p, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(fm.size(), um.size());
+  }
+  fm.for_each([&](SessionId s, const int& v) {
+    const auto it = um.find(s.value());
+    ASSERT_NE(it, um.end());
+    EXPECT_EQ(it->second, v);
+  });
+}
+
+TEST(FlatIdMap, InvalidIdNeverMatchesEmptySlots) {
+  // SessionId{} is -1, the same representation as the empty-slot
+  // sentinel: lookups with it must miss, not alias an empty slot.
+  FlatIdMap<SessionTag, int> m;
+  m.try_emplace(SessionId{1}, 10);
+  EXPECT_EQ(m.find(SessionId{}), nullptr);
+  EXPECT_FALSE(m.contains(SessionId{}));
+  EXPECT_FALSE(m.erase(SessionId{}));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_THROW(m.try_emplace(SessionId{}, 0), InvariantError);
+}
+
+TEST(FlatIdMap, TryEmplaceOfExistingKeyKeepsPointersStable) {
+  // A non-inserting try_emplace must not rehash: pointers stay valid
+  // "until the next insert".
+  FlatIdMap<SessionTag, int> m;
+  for (int i = 0; i < 13; ++i) m.try_emplace(SessionId{i}, i);  // near 7/8 load
+  const int* p = m.find(SessionId{5});
+  for (int i = 0; i < 13; ++i) {
+    const auto [q, inserted] = m.try_emplace(SessionId{i}, -1);
+    EXPECT_FALSE(inserted);
+    if (i == 5) {
+      EXPECT_EQ(q, p);
+    }
+  }
+  EXPECT_EQ(m.find(SessionId{5}), p);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(FlatIdMap, ForEachVisitsEveryEntryOnce) {
+  FlatIdMap<SessionTag, int> m;
+  for (int i = 0; i < 100; ++i) m.try_emplace(SessionId{i * 7}, i);
+  int visits = 0;
+  m.for_each([&](SessionId s, const int& v) {
+    EXPECT_EQ(s.value(), v * 7);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 100);
 }
 
 }  // namespace

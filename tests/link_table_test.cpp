@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
 
 #include "core/link_table.hpp"
 
@@ -312,6 +315,82 @@ TEST(LinkTable, ManySessionsKeepAggregatesConsistent) {
   const double want_be2 =
       (1000.0 - fsum) / static_cast<double>(200 - in_f.size());
   EXPECT_NEAR(t.be(), want_be2, 1e-9);
+}
+
+// ---- RateIndex (core/rate_index.hpp), the table's ordered index ----
+
+TEST(RateIndex, KeepsMultisetIterationOrder) {
+  // The index must iterate in (rate ascending, id ascending) order —
+  // exactly what std::multiset<pair<Rate, SessionId>> gave; the protocol
+  // broadcast order (and with it the packet sequence) depends on it.
+  RateIndex idx;
+  idx.insert(5.0, S(9));
+  idx.insert(1.0, S(4));
+  idx.insert(5.0, S(2));
+  idx.insert(3.0, S(7));
+  idx.insert(5.0, S(5));
+  std::vector<std::pair<Rate, SessionId>> seen;
+  idx.for_each([&](Rate r, SessionId s) { seen.emplace_back(r, s); });
+  const std::vector<std::pair<Rate, SessionId>> want{
+      {1.0, S(4)}, {3.0, S(7)}, {5.0, S(2)}, {5.0, S(5)}, {5.0, S(9)}};
+  EXPECT_EQ(seen, want);
+  EXPECT_EQ(idx.min_rate(), 1.0);
+  EXPECT_EQ(idx.max_rate(), 5.0);
+  EXPECT_EQ(idx.size(), 5u);
+}
+
+TEST(RateIndex, EraseCollapsesEmptyLevels) {
+  RateIndex idx;
+  idx.insert(2.0, S(1));
+  idx.insert(2.0, S(2));
+  idx.insert(4.0, S(3));
+  idx.erase(4.0, S(3));
+  EXPECT_EQ(idx.max_rate(), 2.0);
+  idx.erase(2.0, S(1));
+  idx.erase(2.0, S(2));
+  EXPECT_TRUE(idx.empty());
+  EXPECT_THROW(idx.erase(2.0, S(1)), InvariantError);
+}
+
+TEST(RateIndex, WindowAndFromQueries) {
+  RateIndex idx;
+  for (int i = 0; i < 10; ++i) idx.insert(static_cast<Rate>(i), S(i));
+  std::vector<std::int32_t> got;
+  idx.for_window(3.0, 6.0, [&](Rate, SessionId s) { got.push_back(s.value()); });
+  EXPECT_EQ(got, (std::vector<std::int32_t>{3, 4, 5, 6}));
+  got.clear();
+  idx.for_from(7.0, [&](Rate, SessionId s) { got.push_back(s.value()); });
+  EXPECT_EQ(got, (std::vector<std::int32_t>{7, 8, 9}));
+}
+
+TEST(RateIndex, MatchesMultisetUnderRandomChurn) {
+  std::mt19937_64 rng(31);
+  RateIndex idx;
+  std::multiset<std::pair<Rate, SessionId>> ref;
+  const auto rate_of = [](std::uint64_t r) {
+    return static_cast<Rate>(r % 17) * 0.5;
+  };
+  for (int op = 0; op < 20000; ++op) {
+    const auto id = S(static_cast<int>(rng() % 64));
+    const Rate r = rate_of(rng());
+    // Entries are unique per session in the real table; emulate that by
+    // tracking the session's current rate in the reference.
+    const auto it = std::find_if(ref.begin(), ref.end(), [&](const auto& e) {
+      return e.second == id;
+    });
+    if (rng() % 2 == 0) {
+      if (it != ref.end()) continue;
+      ref.insert({r, id});
+      idx.insert(r, id);
+    } else if (it != ref.end()) {
+      idx.erase(it->first, id);
+      ref.erase(it);
+    }
+    ASSERT_EQ(idx.size(), ref.size());
+  }
+  std::vector<std::pair<Rate, SessionId>> seen;
+  idx.for_each([&](Rate r, SessionId s) { seen.emplace_back(r, s); });
+  EXPECT_TRUE(std::equal(seen.begin(), seen.end(), ref.begin(), ref.end()));
 }
 
 }  // namespace

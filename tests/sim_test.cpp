@@ -1,6 +1,8 @@
 // Tests for the discrete-event simulator and the FIFO link channel.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -195,6 +197,92 @@ TEST(SimulatorDeterminismContract, RunUntilThrowsInsteadOfHanging) {
   std::function<void()> forever = [&] { s.schedule_in(0, forever); };
   s.schedule_at(1, forever);
   EXPECT_THROW(s.run_until(2), InvariantError);
+}
+
+TEST(SimulatorDeterminismContract, HeapOrdersArbitraryTimesWithTies) {
+  // Stress for the owned 4-ary heap that replaced std::priority_queue
+  // (and its const_cast move out of top()): many events at random
+  // timestamps with heavy ties must fire exactly in (time, insertion-
+  // sequence) order — verified against a stable sort of the schedule.
+  std::mt19937_64 rng(2024);
+  Simulator s;
+  std::vector<std::pair<TimeNs, int>> scheduled;  // (t, schedule index)
+  std::vector<int> fired;
+  for (int i = 0; i < 20000; ++i) {
+    const TimeNs t = static_cast<TimeNs>(rng() % 257);  // dense ties
+    scheduled.emplace_back(t, i);
+    s.schedule_at(t, [&fired, i] { fired.push_back(i); });
+  }
+  s.run_until_idle();
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(fired.size(), scheduled.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], scheduled[i].second) << "at position " << i;
+  }
+}
+
+// ---- typed delivery events (sim/event.hpp) ----
+
+struct IntPayload {
+  std::int64_t value;
+};
+
+struct Collector final : DeliveryHandlerOf<Collector, IntPayload> {
+  std::vector<std::int64_t> seen;
+  void on_delivery(const IntPayload& p) { seen.push_back(p.value); }
+};
+
+TEST(TypedEvents, DeliveryCarriesPayloadByValue) {
+  Simulator s;
+  Collector c;
+  IntPayload p{41};
+  s.schedule_delivery_at(10, c, p);
+  p.value = 99;  // the event must have captured a copy
+  s.schedule_delivery_in(20, c, p);
+  s.run_until_idle();
+  EXPECT_EQ(c.seen, (std::vector<std::int64_t>{41, 99}));
+}
+
+TEST(TypedEvents, DeliveriesAndCallbacksShareOneOrdering) {
+  // The determinism contract spans both event kinds: a delivery and a
+  // callback scheduled for the same instant fire in schedule order.
+  Simulator s;
+  Collector c;
+  std::vector<std::int64_t> order;
+  s.schedule_delivery_at(5, c, IntPayload{1});
+  s.schedule_at(5, [&] { order.push_back(2); });
+  s.schedule_delivery_at(5, c, IntPayload{3});
+  s.schedule_at(5, [&] { order.push_back(4); });
+  s.run_until_idle();
+  EXPECT_EQ(c.seen, (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(order, (std::vector<std::int64_t>{2, 4}));
+  EXPECT_EQ(s.events_processed(), 4u);
+}
+
+TEST(TypedEvents, DeliveryHandlerMayScheduleMoreDeliveries) {
+  struct Chain final : DeliveryHandlerOf<Chain, IntPayload> {
+    Simulator* sim = nullptr;
+    int fired = 0;
+    void on_delivery(const IntPayload& p) {
+      ++fired;
+      if (p.value > 0) sim->schedule_delivery_in(1, *this, IntPayload{p.value - 1});
+    }
+  };
+  Simulator s;
+  Chain chain;
+  chain.sim = &s;
+  s.schedule_delivery_at(0, chain, IntPayload{4});
+  EXPECT_EQ(s.run_until_idle(), 4);
+  EXPECT_EQ(chain.fired, 5);
+}
+
+TEST(TypedEvents, SchedulingDeliveryIntoThePastThrows) {
+  Simulator s;
+  Collector c;
+  s.schedule_at(50, [] {});
+  s.run_until_idle();
+  EXPECT_THROW(s.schedule_delivery_at(10, c, IntPayload{1}), InvariantError);
 }
 
 TEST(FifoChannel, IdleLinkDeliversAfterTxPlusProp) {
