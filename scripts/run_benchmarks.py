@@ -130,15 +130,23 @@ def compare_reports(baseline, report, wall_tolerance):
             new_lines = normalized_lines(bench["stdout"])
             for i, (a, b) in enumerate(zip(base_lines, new_lines)):
                 if a != b:
-                    print(f"  first differing line ({i}):", file=sys.stderr)
+                    print(f"[FAIL] compare: {name}: output shape mismatch, "
+                          f"first differing line ({i}):", file=sys.stderr)
                     print(f"    baseline: {a}", file=sys.stderr)
                     print(f"    current : {b}", file=sys.stderr)
                     break
             else:
-                print(f"  line count {len(base_lines)} -> {len(new_lines)}",
+                print(f"[FAIL] compare: {name}: output shape mismatch, "
+                      f"line count {len(base_lines)} -> {len(new_lines)}",
                       file=sys.stderr)
             failures += 1
         if not wall_ok:
+            regression = (bench["wall_seconds"] / base["wall_seconds"] - 1.0
+                          if base["wall_seconds"] > 0 else float("inf"))
+            print(f"[FAIL] compare: {name}: wall-clock regressed "
+                  f"{base['wall_seconds']:.3f}s -> {bench['wall_seconds']:.3f}s "
+                  f"(+{regression:.1%}, tolerance {wall_tolerance:.0%})",
+                  file=sys.stderr)
             failures += 1
     missing = sorted(set(base_by_name) -
                      {b["name"] for b in report.get("benches", [])})
@@ -149,9 +157,92 @@ def compare_reports(baseline, report, wall_tolerance):
     return failures
 
 
+def self_test():
+    """Unit-tests the --compare failure paths (no binaries needed).
+
+    Exercises exactly the cases developers hit: a wall-clock regression
+    must name the offending bench and print both wall times; a shape
+    mismatch must name the bench and the first differing line; missing
+    benches and config mismatches must fail.  Run via
+    `run_benchmarks.py --self-test` (wired into CTest).
+    """
+    import contextlib
+    import io
+
+    def bench(name, wall, stdout):
+        return {"name": name, "wall_seconds": wall, "stdout": stdout}
+
+    def report(*benches):
+        return {"config": {"scale": 0.1, "seed": 1},
+                "benches": list(benches)}
+
+    def run_compare(baseline, current, tol=0.10):
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            failures = compare_reports(baseline, current, tol)
+        return failures, out.getvalue(), err.getvalue()
+
+    checks = 0
+
+    def expect(cond, what):
+        nonlocal checks
+        checks += 1
+        if not cond:
+            raise AssertionError(f"self-test: {what}")
+
+    # 1. identical reports pass.
+    base = report(bench("exp1", 1.0, "a 1\nb 2\n"), bench("exp2", 2.0, "x\n"))
+    failures, _, err = run_compare(base, report(*base["benches"]))
+    expect(failures == 0, f"identical reports flagged: {err}")
+
+    # 2. a wall regression names the bench and both wall times.
+    slow = report(bench("exp1", 1.0, "a 1\nb 2\n"), bench("exp2", 9.0, "x\n"))
+    failures, _, err = run_compare(base, slow)
+    expect(failures == 1, "wall regression not counted exactly once")
+    expect("[FAIL] compare: exp2" in err, f"offending bench not named: {err}")
+    expect("2.000s" in err and "9.000s" in err,
+           f"both wall times not printed: {err}")
+    expect("exp1" not in err, f"passing bench dragged into stderr: {err}")
+
+    # 3. wall noise inside the tolerance passes.
+    noisy = report(bench("exp1", 1.05, "a 1\nb 2\n"), bench("exp2", 2.0, "x\n"))
+    failures, _, err = run_compare(base, noisy)
+    expect(failures == 0, f"in-tolerance wall diff flagged: {err}")
+
+    # 4. a shape mismatch names the bench and the first differing line.
+    shape = report(bench("exp1", 1.0, "a 1\nb 3\n"), bench("exp2", 2.0, "x\n"))
+    failures, _, err = run_compare(base, shape)
+    expect(failures == 1, "shape mismatch not counted exactly once")
+    expect("[FAIL] compare: exp1" in err and "b 2" in err and "b 3" in err,
+           f"shape mismatch not localized: {err}")
+
+    # 5. whitespace-only differences are normalized away.
+    spaced = report(bench("exp1", 1.0, "  a   1\n\nb 2\n"),
+                    bench("exp2", 2.0, "x\n"))
+    failures, _, err = run_compare(base, spaced)
+    expect(failures == 0, f"whitespace-normalized diff flagged: {err}")
+
+    # 6. a bench missing from the new run fails by name.
+    failures, _, err = run_compare(base, report(base["benches"][0]))
+    expect(failures == 1 and "exp2" in err,
+           f"missing bench not reported: {err}")
+
+    # 7. a config mismatch refuses the comparison outright.
+    other = report(bench("exp1", 1.0, "a 1\nb 2\n"))
+    other["config"] = {"scale": 1.0, "seed": 1}
+    failures, _, err = run_compare(base, other)
+    expect(failures == 1 and "scale" in err,
+           f"config mismatch not rejected: {err}")
+
+    print(f"self-test ok ({checks} checks)")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench-dir", required=True, help="directory with bench binaries")
+    ap.add_argument("--bench-dir",
+                    help="directory with bench binaries (required unless "
+                         "--self-test)")
     ap.add_argument("--output", default="BENCH_seed.json")
     ap.add_argument("--scale", type=float, default=0.1,
                     help="workload scale passed to the figure benches (default 0.1)")
@@ -165,7 +256,14 @@ def main():
     ap.add_argument("--wall-tolerance", type=float, default=0.10,
                     help="allowed fractional wall-clock regression in "
                          "--compare mode (default 0.10)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="unit-test the --compare failure paths and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.bench_dir:
+        ap.error("--bench-dir is required (unless --self-test)")
 
     report = {
         "schema": "bneck-bench/1",

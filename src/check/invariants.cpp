@@ -1,0 +1,331 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/expect.hpp"
+#include "core/maxmin.hpp"
+
+namespace bneck::check {
+
+InvariantChecker::InvariantChecker(const net::Network& net,
+                                   const core::BneckConfig& cfg,
+                                   const CheckOptions& opt)
+    : net_(net), cfg_(cfg), opt_(opt) {}
+
+void InvariantChecker::attach(core::BneckProtocol& bneck) {
+  BNECK_EXPECT(bneck_ == nullptr, "checker already attached");
+  bneck_ = &bneck;
+}
+
+void InvariantChecker::fail(TimeNs t, const std::string& what) {
+  if (!violation_.empty()) return;
+  std::ostringstream os;
+  os << "t=" << format_time(t) << ": " << what;
+  violation_ = os.str();
+}
+
+TimeNs InvariantChecker::tx_time(const net::Link& l) const {
+  return cfg_.control_tx_time(l);
+}
+
+void InvariantChecker::on_join(SessionId s, const net::Path& path,
+                               Rate demand) {
+  SessionInfo info;
+  info.path = path;
+  info.demand = demand;
+  info.active = true;
+  for (const LinkId e : path.links) {
+    info.min_capacity = std::min(info.min_capacity, net_.link(e).capacity);
+  }
+  const bool inserted = sessions_.emplace(s, std::move(info)).second;
+  BNECK_EXPECT(inserted, "checker: duplicate join (unnormalized scenario?)");
+  ++active_count_;
+}
+
+void InvariantChecker::on_leave(SessionId s) {
+  const auto it = sessions_.find(s);
+  BNECK_EXPECT(it != sessions_.end() && it->second.active,
+               "checker: leave of inactive session (unnormalized scenario?)");
+  it->second.active = false;
+  --active_count_;
+  draining_hops_ += it->second.path.links.size();
+}
+
+void InvariantChecker::on_change(SessionId s, Rate demand) {
+  const auto it = sessions_.find(s);
+  BNECK_EXPECT(it != sessions_.end() && it->second.active,
+               "checker: change of inactive session (unnormalized scenario?)");
+  it->second.demand = demand;
+}
+
+void InvariantChecker::on_burst(TimeNs t) {
+  last_change_at_ = t;
+  phase_dirty_ = true;
+  phase_packet_budget_ = 0;
+  phase_quiescence_bound_ = kTimeNever;
+  if (cfg_.loss_probability > 0) return;  // bounds assume reliable wires
+
+  // Structural inputs for the phase bounds: the number of bottleneck
+  // levels the centralized solver predicts for the new session set, the
+  // worst per-session round trip and the total hop count in play.
+  std::vector<core::SessionSpec> specs;
+  specs.reserve(active_count_);
+  std::size_t hops = draining_hops_;
+  TimeNs max_rtt = 0;
+  TimeNs max_tx = 0;
+  for (const auto& [s, info] : sessions_) {
+    TimeNs rtt = 0;
+    for (const LinkId e : info.path.links) {
+      const net::Link& l = net_.link(e);
+      rtt += l.prop_delay + tx_time(l);
+      const net::Link& rev = net_.link(l.reverse);
+      rtt += rev.prop_delay + tx_time(rev);
+      max_tx = std::max({max_tx, tx_time(l), tx_time(rev)});
+    }
+    max_rtt = std::max(max_rtt, rtt);
+    if (!info.active) continue;
+    hops += info.path.links.size();
+    specs.push_back(core::SessionSpec{s, info.path, info.demand});
+  }
+  std::sort(specs.begin(), specs.end(),
+            [](const core::SessionSpec& a, const core::SessionSpec& b) {
+              return a.id < b.id;
+            });
+  std::size_t levels = 0;
+  if (!specs.empty()) {
+    auto rates = core::solve_waterfill(net_, specs).rates;
+    std::sort(rates.begin(), rates.end());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      if (i == 0 || !rate_eq(rates[i], rates[i - 1], kRateCheckEps)) ++levels;
+    }
+  }
+
+  if (opt_.packet_slack > 0) {
+    phase_packet_budget_ = static_cast<std::uint64_t>(
+        opt_.packet_slack * static_cast<double>(levels + 2) *
+        static_cast<double>(std::max<std::size_t>(hops, 8)));
+  }
+  if (opt_.quiescence_slack > 0) {
+    const double span =
+        opt_.quiescence_slack * static_cast<double>(levels + 2) *
+        (static_cast<double>(max_rtt) +
+         static_cast<double>(hops) * static_cast<double>(max_tx));
+    phase_quiescence_bound_ =
+        last_change_at_ + static_cast<TimeNs>(span) + microseconds(10);
+  }
+}
+
+void InvariantChecker::on_packet_sent(TimeNs t, const core::Packet& p,
+                                      LinkId /*physical_link*/) {
+  if (!violation_.empty()) return;
+  ++phase_packets_;
+  const auto it = sessions_.find(p.session);
+  if (it == sessions_.end()) {
+    std::ostringstream os;
+    os << "packet " << core::packet_type_name(p.type)
+       << " for a session the schedule never joined (" << p.session << ")";
+    fail(t, os.str());
+    return;
+  }
+  if (phase_dirty_ && phase_packet_budget_ > 0 &&
+      phase_packets_ > phase_packet_budget_) {
+    std::ostringstream os;
+    os << "control-packet budget exceeded: " << phase_packets_
+       << " packets this phase (budget " << phase_packet_budget_
+       << ") — in-flight updates are not bounded";
+    fail(t, os.str());
+    return;
+  }
+  if (phase_dirty_ && phase_quiescence_bound_ != kTimeNever &&
+      t > phase_quiescence_bound_) {
+    std::ostringstream os;
+    os << "still transmitting at " << format_time(t)
+       << ", past the quiescence bound " << format_time(phase_quiescence_bound_)
+       << " (last change at " << format_time(last_change_at_) << ")";
+    fail(t, os.str());
+  }
+}
+
+void InvariantChecker::on_rate_notified(TimeNs t, SessionId s, Rate r) {
+  if (!violation_.empty()) return;
+  const auto it = sessions_.find(s);
+  if (it == sessions_.end() || !it->second.active) {
+    fail(t, "API.Rate for a session that is not active");
+    return;
+  }
+  const SessionInfo& info = it->second;
+  std::ostringstream os;
+  if (std::isnan(r) || r < -kRateCheckEps) {
+    os << "API.Rate(" << s << ", " << r << "): negative/NaN rate";
+    fail(t, os.str());
+  } else if (!rate_le(r, info.demand, kRateCheckEps)) {
+    os << "API.Rate(" << s << ", " << format_rate(r)
+       << ") exceeds the session's demand " << format_rate(info.demand);
+    fail(t, os.str());
+  } else if (!rate_le(r, info.min_capacity, kRateCheckEps)) {
+    os << "API.Rate(" << s << ", " << format_rate(r)
+       << ") exceeds the tightest link capacity on its path "
+       << format_rate(info.min_capacity);
+    fail(t, os.str());
+  }
+}
+
+void InvariantChecker::on_step(TimeNs now) {
+  if (!violation_.empty() || opt_.audit_stride == 0) return;
+  if (++steps_since_audit_ < opt_.audit_stride) return;
+  steps_since_audit_ = 0;
+  audit_tables(now);
+}
+
+void InvariantChecker::audit_tables(TimeNs t, bool quiescent) {
+  if (!violation_.empty()) return;
+  BNECK_EXPECT(bneck_ != nullptr, "checker not attached");
+  for (std::int32_t i = 0; i < net_.link_count(); ++i) {
+    const LinkId e{i};
+    const core::RouterLink* rl = bneck_->router_link(e);
+    if (rl == nullptr) continue;
+    if (const std::string err = rl->table().audit(); !err.empty()) {
+      std::ostringstream os;
+      os << "link " << e << " table inconsistent with naive model: " << err;
+      fail(t, os.str());
+      return;
+    }
+    bool bad = false;
+    std::ostringstream os;
+    rl->table().for_each([&](SessionId s, bool, core::Mu, Rate) {
+      if (bad || !violation_.empty()) return;
+      const auto it = sessions_.find(s);
+      if (it == sessions_.end()) {
+        os << "link " << e << " tracks session " << s
+           << " the schedule never joined";
+        bad = true;
+        return;
+      }
+      if (quiescent && !it->second.active) {
+        os << "departed session " << s << " still recorded at link " << e
+           << " at quiescence";
+        bad = true;
+        return;
+      }
+      const std::int32_t hop = rl->table().hop(s);
+      const auto& links = it->second.path.links;
+      if (hop < 0 || hop >= static_cast<std::int32_t>(links.size()) ||
+          links[static_cast<std::size_t>(hop)] != e) {
+        os << "link " << e << " records hop " << hop << " for session " << s
+           << ", which does not match the session's path";
+        bad = true;
+      }
+    });
+    if (bad) {
+      fail(t, os.str());
+      return;
+    }
+  }
+}
+
+void InvariantChecker::on_quiescent(TimeNs quiesced_at) {
+  if (!violation_.empty()) return;
+  BNECK_EXPECT(bneck_ != nullptr, "checker not attached");
+  ++quiescent_phases_;
+
+  // Quiescence-time bound (armed only on reliable loss-free wires).
+  if (phase_dirty_ && phase_quiescence_bound_ != kTimeNever &&
+      quiesced_at > phase_quiescence_bound_) {
+    std::ostringstream os;
+    os << "quiesced at " << format_time(quiesced_at)
+       << ", past the structural bound "
+       << format_time(phase_quiescence_bound_) << " (last change at "
+       << format_time(last_change_at_) << ")";
+    fail(quiesced_at, os.str());
+    return;
+  }
+
+  // Full network stability (paper Definition 2).
+  if (!bneck_->all_tasks_stable()) {
+    fail(quiesced_at, "event queue drained but the network is not stable");
+    return;
+  }
+
+  const auto specs = bneck_->active_specs();
+  if (specs.size() != active_count_) {
+    std::ostringstream os;
+    os << "protocol reports " << specs.size() << " active sessions, schedule "
+       << "has " << active_count_;
+    fail(quiesced_at, os.str());
+    return;
+  }
+
+  // Every active session has been notified; rates match the centralized
+  // solver exactly (within the measurement tolerance).
+  std::vector<Rate> notified;
+  notified.reserve(specs.size());
+  for (const auto& spec : specs) {
+    const auto got = bneck_->notified_rate(spec.id);
+    if (!got.has_value()) {
+      std::ostringstream os;
+      os << "session " << spec.id << " active at quiescence but never "
+         << "received API.Rate";
+      fail(quiesced_at, os.str());
+      return;
+    }
+    notified.push_back(*got);
+  }
+  const auto sol = core::solve_waterfill(net_, specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const double tol = kRateCheckEps * std::max(1.0, sol.rates[i]);
+    if (std::fabs(notified[i] - sol.rates[i]) > tol) {
+      std::ostringstream os;
+      os << "session " << specs[i].id << " notified "
+         << format_rate(notified[i]) << " but the max-min allocation is "
+         << format_rate(sol.rates[i]);
+      fail(quiesced_at, os.str());
+      return;
+    }
+  }
+
+  // Feasibility and per-session restriction of the notified vector.
+  if (const std::string err =
+          core::check_maxmin_invariants(net_, specs, notified);
+      !err.empty()) {
+    fail(quiesced_at, "max-min invariants violated: " + err);
+    return;
+  }
+
+  // Per-link recorded state agrees with the allocation: every active
+  // session is present at every router hop of its path with λ equal to
+  // its allocated rate.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& links = specs[i].path.links;
+    for (std::size_t h = 1; h < links.size(); ++h) {
+      const core::RouterLink* rl = bneck_->router_link(links[h]);
+      if (rl == nullptr || !rl->table().contains(specs[i].id)) {
+        std::ostringstream os;
+        os << "session " << specs[i].id << " missing from link " << links[h]
+           << " (hop " << h << ") at quiescence";
+        fail(quiesced_at, os.str());
+        return;
+      }
+      const Rate lambda = rl->table().lambda(specs[i].id);
+      if (std::fabs(lambda - notified[i]) >
+          kRateCheckEps * std::max(1.0, notified[i])) {
+        std::ostringstream os;
+        os << "link " << links[h] << " records λ=" << format_rate(lambda)
+           << " for session " << specs[i].id << ", allocated "
+           << format_rate(notified[i]);
+        fail(quiesced_at, os.str());
+        return;
+      }
+    }
+  }
+
+  audit_tables(quiesced_at, /*quiescent=*/true);
+
+  // Reset the phase window.
+  phase_packets_ = 0;
+  draining_hops_ = 0;
+  phase_dirty_ = false;
+}
+
+}  // namespace bneck::check

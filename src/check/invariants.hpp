@@ -1,0 +1,141 @@
+// Online protocol-invariant checker for B-Neck scenario runs.
+//
+// The checker rides a scenario run (check/runner.hpp) through three hook
+// surfaces and records the *first* violated property:
+//
+//   * TraceSink — every wire transmission and every API.Rate
+//     notification.  Online checks: notified rates are non-negative,
+//     never exceed the session's current demand or the tightest capacity
+//     on its path; per-phase control traffic stays within a structural
+//     budget (B-Neck's in-flight updates are bounded, so a phase's packet
+//     count is O(levels x Σ path lengths) — a runaway Update storm trips
+//     this long before the simulator's event budget).
+//   * on_step — after every simulator event; every `audit_stride` steps
+//     it audits each instantiated RouterLink table against a naive
+//     reconstruction (LinkSessionTable::audit) and checks that every
+//     table entry belongs to a known session at the right hop/link.
+//   * on_quiescent — whenever the event queue drains: full network
+//     stability (paper Definition 2), exact agreement of the notified
+//     rates with the centralized max-min solver on the active sessions
+//     (within kRateCheckEps), feasibility + per-session restriction
+//     (core::check_maxmin_invariants), per-link recorded rates equal to
+//     the sessions' allocated rates, and — on reliable links — the
+//     quiescence-time bound after the phase's last API change.
+//
+// Properties that only hold at fixpoints (solver agreement, stability,
+// feasibility of rate *sums*) are checked at quiescent instants;
+// transient overshoot during reconvergence is expected and not flagged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bneck.hpp"
+#include "core/trace.hpp"
+#include "net/network.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace bneck::check {
+
+struct CheckOptions {
+  /// Simulator event budget per scenario; exceeding it is reported as a
+  /// non-quiescence failure.
+  std::uint64_t max_events = 20'000'000;
+  /// Audit every N-th simulator event (0 = only at quiescent instants).
+  std::size_t audit_stride = 256;
+  /// Multiplier on the structural quiescence-time bound; <= 0 disables.
+  /// Only enforced on reliable links (ARQ retransmission timers under
+  /// loss add stochastic delay the paper's bound does not model).
+  double quiescence_slack = 32.0;
+  /// Multiplier on the per-phase control-packet budget; <= 0 disables.
+  /// Only enforced on loss-free links (retransmissions inflate counts).
+  double packet_slack = 64.0;
+  /// Arms the documented harness-validation mutation
+  /// (BneckConfig::fault_single_kick).
+  bool fault_single_kick = false;
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::string message;  // first violation, with timestamp context
+  std::uint64_t seed = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t packets_sent = 0;
+  std::size_t schedule_events = 0;
+  int quiescent_phases = 0;
+  TimeNs quiesced_at = 0;
+};
+
+class InvariantChecker final : public core::TraceSink {
+ public:
+  InvariantChecker(const net::Network& net, const core::BneckConfig& cfg,
+                   const CheckOptions& opt);
+
+  /// Must be called once, before the run, with the protocol under test.
+  void attach(core::BneckProtocol& bneck);
+
+  // ---- schedule bookkeeping (runner calls these at API time) ----
+  void on_join(SessionId s, const net::Path& path, Rate demand);
+  void on_leave(SessionId s);
+  void on_change(SessionId s, Rate demand);
+  /// Called after a burst of same-timestamp API calls has been applied:
+  /// recomputes the phase budgets (packet and quiescence-time bounds).
+  void on_burst(TimeNs t);
+
+  // ---- run hooks ----
+  /// After every simulator event (stride-sampled table audits).
+  void on_step(TimeNs now);
+  /// The event queue drained at `quiesced_at`.
+  void on_quiescent(TimeNs quiesced_at);
+
+  // ---- core::TraceSink ----
+  void on_packet_sent(TimeNs t, const core::Packet& p,
+                      LinkId physical_link) override;
+  void on_rate_notified(TimeNs t, SessionId s, Rate r) override;
+
+  [[nodiscard]] bool ok() const { return violation_.empty(); }
+  [[nodiscard]] const std::string& first_violation() const {
+    return violation_;
+  }
+  [[nodiscard]] int quiescent_phases() const { return quiescent_phases_; }
+
+ private:
+  struct SessionInfo {
+    net::Path path;
+    Rate demand = kRateInfinity;
+    Rate min_capacity = kRateInfinity;  // tightest link on the path
+    bool active = false;
+  };
+
+  void fail(TimeNs t, const std::string& what);
+  /// `quiescent`: additionally require that no departed session lingers
+  /// in any table (their Leave packets must have drained).
+  void audit_tables(TimeNs t, bool quiescent = false);
+  [[nodiscard]] TimeNs tx_time(const net::Link& l) const;
+
+  const net::Network& net_;
+  core::BneckConfig cfg_;
+  CheckOptions opt_;
+  core::BneckProtocol* bneck_ = nullptr;
+
+  std::string violation_;
+  std::unordered_map<SessionId, SessionInfo> sessions_;
+  std::size_t active_count_ = 0;
+
+  // Phase state (recomputed by on_burst, validated and reset by
+  // on_quiescent).
+  TimeNs last_change_at_ = 0;
+  std::uint64_t phase_packets_ = 0;
+  std::uint64_t phase_packet_budget_ = 0;  // 0 = unarmed
+  TimeNs phase_quiescence_bound_ = kTimeNever;
+  bool phase_dirty_ = false;  // an API change happened since last quiescence
+  std::size_t draining_hops_ = 0;  // path hops of sessions leaving this phase
+
+  std::uint64_t steps_since_audit_ = 0;
+  int quiescent_phases_ = 0;
+};
+
+}  // namespace bneck::check

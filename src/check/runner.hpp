@@ -1,0 +1,50 @@
+// Scenario execution and parallel seed campaigns.
+//
+// run_scenario drives one Scenario through a fresh Simulator +
+// BneckProtocol with an InvariantChecker attached: API bursts are
+// applied in timeline order, the event queue is stepped one event at a
+// time (so the checker can audit mid-flight), and every time the queue
+// drains the full quiescent-phase property set is validated.  A thrown
+// InvariantError (from the protocol or the simulator's event budget) is
+// converted into a failure, so a deadlocked or corrupted run reports
+// instead of aborting the campaign.
+//
+// run_seed_range fans a block of seeds over the workload thread pool
+// (workload/parallel.hpp): every seed builds its own network, simulator
+// and RNG, so campaigns scale linearly and the set of failing seeds is
+// independent of the worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+
+namespace bneck::check {
+
+/// Runs one scenario under the invariant checker.  The scenario is
+/// normalized first; `result.seed` echoes sc.seed.
+[[nodiscard]] CheckResult run_scenario(const Scenario& sc,
+                                       const CheckOptions& opt);
+
+/// generate_scenario(seed) + run_scenario.
+[[nodiscard]] CheckResult run_seed(std::uint64_t seed,
+                                   const CheckOptions& opt);
+
+struct CampaignResult {
+  std::uint64_t seeds_run = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t quiescent_phases = 0;
+  /// Failing runs, in seed order (message of the first violation each).
+  std::vector<CheckResult> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs seeds [first, last] on up to `threads` workers (0 = all cores).
+CampaignResult run_seed_range(std::uint64_t first, std::uint64_t last,
+                              std::size_t threads, const CheckOptions& opt);
+
+}  // namespace bneck::check

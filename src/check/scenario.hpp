@@ -1,0 +1,109 @@
+// Randomized protocol scenarios for the property harness.
+//
+// A Scenario is a fully explicit, replayable description of one
+// simulator run: a parameterized topology plus a timeline of API events
+// (join / leave / change).  Scenarios come from three places:
+//
+//   * generate_scenario(seed) — the fuzzer: one uint64 seed determines
+//     the topology family (line, star, dumbbell, parking-lot,
+//     multi-bottleneck tree, random graph, cell-backhaul), every
+//     capacity/delay knob, the loss configuration and the whole event
+//     timeline, via base/rng.hpp.  Same seed, same scenario, byte for
+//     byte.
+//   * parse_spec(text) — replay of a spec emitted by format_spec, e.g.
+//     the minimal reproducer printed by the shrinker
+//     (`bneck_check --replay "<spec>"`).
+//   * hand construction in tests.
+//
+// normalize() makes *any* event list valid by dropping events that
+// violate the API preconditions; this is what lets the shrinker delete
+// arbitrary event subsets and still obtain a runnable scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rate.hpp"
+#include "base/time.hpp"
+#include "net/network.hpp"
+
+namespace bneck::check {
+
+enum class TopoKind : std::uint8_t {
+  Line,        // router chain, hpr hosts per router
+  Star,        // hub + a leaves, hpr hosts per router
+  Dumbbell,    // a pairs across one bottleneck of router_capacity
+  ParkingLot,  // a-link chain, one host per router (multi-bottleneck)
+  Tree,        // binary tree of depth a, hpr hosts per leaf
+  Random,      // connected random graph: a routers, b chords, `hosts` hosts
+  Backhaul,    // cell-backhaul: aggregation chain, b cells per stage
+};
+
+[[nodiscard]] const char* topo_kind_name(TopoKind k);
+
+struct TopoSpec {
+  TopoKind kind = TopoKind::Dumbbell;
+  std::int32_t a = 3;   // routers / leaves / pairs / links / depth / stages
+  std::int32_t b = 0;   // Random: extra chords; Backhaul: cells per stage
+  std::int32_t hpr = 1;         // hosts per router (where applicable)
+  std::int32_t hosts = 6;       // Random only: total hosts
+  std::uint64_t seed = 0;       // Random wiring seed
+  Rate router_capacity = 200.0;  // router-router links (Dumbbell: bottleneck)
+  Rate access_capacity = 100.0;  // host-router links
+  bool wan = false;              // 3 ms router delays instead of 1 us
+};
+
+/// Builds the (validated) network a TopoSpec describes.  Deterministic.
+[[nodiscard]] net::Network build_network(const TopoSpec& t);
+
+enum class EventKind : std::uint8_t { Join, Leave, Change };
+
+struct ScheduleEvent {
+  TimeNs at = 0;
+  EventKind kind = EventKind::Join;
+  std::int32_t session = 0;     // scenario-local session id
+  std::int32_t src_host = -1;   // Join: index into Network::hosts()
+  std::int32_t dst_host = -1;   // Join: index into Network::hosts()
+  Rate demand = kRateInfinity;  // Join / Change
+
+  friend bool operator==(const ScheduleEvent&, const ScheduleEvent&) = default;
+};
+
+struct Scenario {
+  /// Generator seed, recorded for reporting; 0 for hand-built or shrunk
+  /// scenarios (the event list, not the seed, is authoritative).
+  std::uint64_t seed = 0;
+  TopoSpec topo;
+  /// Wire loss probability; > 0 implies go-back-N ARQ links
+  /// (BneckConfig::reliable_links), as lossy runs would otherwise
+  /// deadlock by design.
+  double loss_probability = 0.0;
+  std::vector<ScheduleEvent> events;
+};
+
+/// The fuzzer: expands one seed into a scenario.  Pure function of seed.
+[[nodiscard]] Scenario generate_scenario(std::uint64_t seed);
+
+/// Makes the event list valid: stable-sorts by time, then drops events
+/// that violate the API preconditions (join of an already-used session
+/// id or busy/out-of-range/self-paired host, leave/change of a session
+/// not live, non-positive demand).  Deterministic.  Returns the number
+/// of events dropped.
+std::size_t normalize(Scenario& sc);
+
+/// One-line textual spec round-trippable through parse_spec.
+[[nodiscard]] std::string format_spec(const Scenario& sc);
+
+/// Parses a format_spec string.  Throws InvariantError on malformed
+/// input.
+[[nodiscard]] Scenario parse_spec(const std::string& spec);
+
+/// A self-contained C++ (gtest) reproducer for the scenario.
+/// `fault_single_kick` arms the documented harness-validation mutation
+/// in the emitted CheckOptions, so injected-fault repros stay failing.
+[[nodiscard]] std::string cpp_snippet(const Scenario& sc,
+                                      const std::string& test_name,
+                                      bool fault_single_kick = false);
+
+}  // namespace bneck::check

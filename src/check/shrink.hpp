@@ -1,0 +1,58 @@
+// Delta-debugging shrinker for failing scenarios.
+//
+// Given a scenario whose run violates an invariant, shrink() searches
+// for a minimal scenario that still fails, using the classic
+// delta-debugging loop over progressively finer granularities plus
+// domain-specific reduction passes:
+//
+//   1. whole sessions  — drop a session and (via normalize) every event
+//                        that referenced it;
+//   2. event chunks    — ddmin over the event list (halves, quarters, …,
+//                        single events), each candidate re-normalized;
+//   3. topology        — shrink the parameter knobs (size, hosts per
+//                        router, WAN delays, loss) one notch at a time;
+//   4. schedule time   — collapse the timeline into one burst, then
+//                        shrink inter-event gaps;
+//   5. demands         — replace finite demands with "unlimited".
+//
+// The passes repeat in that order until a whole round makes no progress
+// (or the run budget is exhausted), so later passes do re-enable earlier
+// ones.
+//
+// Every candidate is a full deterministic re-run, so the result is an
+// exact reproducer: the emitted spec replays with
+// `bneck_check --replay "<spec>"` and the emitted C++ snippet compiles
+// against check/runner.hpp as a standalone regression test.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+
+namespace bneck::check {
+
+struct ShrinkOptions {
+  /// Budget of candidate re-executions.
+  std::size_t max_runs = 4000;
+  /// Options for candidate runs (fault flags, bounds, event budget).
+  CheckOptions check;
+};
+
+struct ShrinkResult {
+  Scenario minimal;
+  /// Violation message of the minimal reproducer.
+  std::string failure;
+  std::size_t runs = 0;             // candidate executions performed
+  std::size_t original_events = 0;  // normalized event count before
+  std::size_t minimal_events = 0;   // ... and after shrinking
+};
+
+/// Shrinks a failing scenario to a minimal failing one.  Precondition:
+/// run_scenario(failing, opt.check) fails; throws InvariantError
+/// otherwise (a shrink of a passing scenario is meaningless).
+[[nodiscard]] ShrinkResult shrink(const Scenario& failing,
+                                  const ShrinkOptions& opt);
+
+}  // namespace bneck::check

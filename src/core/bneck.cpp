@@ -46,7 +46,8 @@ BneckProtocol::SessionRt& BneckProtocol::runtime(SessionId s) {
 RouterLink& BneckProtocol::router_link_at(LinkId e) {
   auto& slot = links_[static_cast<std::size_t>(e.value())];
   if (!slot) {
-    slot = std::make_unique<RouterLink>(e, net_.link(e).capacity, *this);
+    slot = std::make_unique<RouterLink>(e, net_.link(e).capacity, *this,
+                                        cfg_.fault_single_kick);
   }
   return *slot;
 }
@@ -154,10 +155,7 @@ bool BneckProtocol::all_tasks_stable() const {
 }
 
 TimeNs BneckProtocol::tx_time(const net::Link& l) const {
-  if (!cfg_.model_transmission) return 0;
-  // bits / (capacity Mbps * 1e6 bit/s), expressed in nanoseconds.
-  return static_cast<TimeNs>(
-      static_cast<double>(cfg_.packet_bits) * 1000.0 / l.capacity + 0.5);
+  return cfg_.control_tx_time(l);
 }
 
 ArqChannel& BneckProtocol::arq_channel_at(LinkId physical) {

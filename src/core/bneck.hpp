@@ -65,6 +65,29 @@ struct BneckConfig {
   bool reliable_links = false;
   /// Seed for the loss process (deterministic fault injection).
   std::uint64_t loss_seed = 0x10552024;
+
+  /// Transmission time of one control packet on `l` under this config —
+  /// THE definition of the simulation's store-and-forward timing, shared
+  /// with external observers (the src/check/ harness derives quiescence
+  /// bounds from it; a private copy there would silently drift).
+  [[nodiscard]] TimeNs control_tx_time(const net::Link& l) const {
+    if (!model_transmission) return 0;
+    // bits / (capacity Mbps * 1e6 bit/s), expressed in nanoseconds.
+    return static_cast<TimeNs>(static_cast<double>(packet_bits) * 1000.0 /
+                                   l.capacity +
+                               0.5);
+  }
+
+  /// Protocol-level mutation for validating the property harness
+  /// (src/check/ and the `bneck_check` CLI): when true, every RouterLink
+  /// re-probes only the *first* session of each kick batch.  The batches
+  /// in ProcessNewRestricted (Figure 2 lines 8-10), SetBottleneck and
+  /// Leave handling collect every idle session whose recorded rate must
+  /// be revisited; dropping all but one is a realistic "forgot the loop"
+  /// rate-update bug that leaves stale allocations behind.  The invariant
+  /// checker must catch it and the shrinker must minimize it; never set
+  /// outside harness validation.
+  bool fault_single_kick = false;
 };
 
 class BneckProtocol final

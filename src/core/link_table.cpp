@@ -1,7 +1,9 @@
 #include "core/link_table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <sstream>
 
 namespace bneck::core {
 
@@ -153,6 +155,90 @@ void LinkSessionTable::idle_R_all(SessionId exclude,
   idle_r_.for_each([&](Rate, SessionId s) {
     if (s != exclude) out.push_back(s);
   });
+}
+
+std::string LinkSessionTable::audit() const {
+  std::ostringstream err;
+  const auto fail = [&err](auto&&... parts) {
+    ((err << parts), ...);
+    return err.str();
+  };
+
+  // Naive reconstruction of every aggregate and index from recs_ alone.
+  std::size_t naive_r = 0;
+  long double naive_f_sum = 0;
+  std::vector<std::pair<Rate, SessionId>> naive_idle_r;
+  std::vector<std::pair<Rate, SessionId>> naive_f;
+  bool bad_rec = false;
+  std::ostringstream bad_rec_what;
+  recs_.for_each([&](SessionId s, const Rec& r) {
+    if (r.in_r) {
+      ++naive_r;
+      if (r.mu == Mu::Idle) naive_idle_r.emplace_back(r.lambda, s);
+    } else {
+      naive_f_sum += r.lambda;
+      naive_f.emplace_back(r.lambda, s);
+    }
+    if (std::isnan(r.lambda) || r.lambda < 0) {
+      bad_rec = true;
+      bad_rec_what << "session " << s << " has invalid lambda " << r.lambda;
+    }
+  });
+  if (bad_rec) return fail("record: ", bad_rec_what.str());
+  if (naive_r != r_count_) {
+    return fail("|Re| aggregate ", r_count_, " != naive count ", naive_r);
+  }
+  const auto naive_sum = static_cast<Rate>(naive_f_sum);
+  const Rate tol =
+      1e-6 * std::max({1.0, std::fabs(naive_sum), std::fabs(capacity_)});
+  if (std::fabs(static_cast<Rate>(f_sum_) - naive_sum) > tol) {
+    return fail("sum_F aggregate ", static_cast<Rate>(f_sum_),
+                " != naive sum ", naive_sum);
+  }
+
+  // Each ordered index must hold exactly the naive (λ, s) multiset, with
+  // exact (not tolerant) λ keys, in (rate, id) iteration order.
+  const auto check_index = [&](const Index& index, const char* name,
+                               std::vector<std::pair<Rate, SessionId>> want)
+      -> std::string {
+    std::sort(want.begin(), want.end());
+    std::vector<std::pair<Rate, SessionId>> got;
+    got.reserve(index.size());
+    index.for_each([&got](Rate l, SessionId s) { got.emplace_back(l, s); });
+    if (got.size() != index.size()) {
+      return fail(name, ": size() ", index.size(), " != iterated ",
+                  got.size());
+    }
+    if (!std::is_sorted(got.begin(), got.end())) {
+      return fail(name, ": iteration out of (rate, id) order");
+    }
+    if (got != want) {
+      return fail(name, ": holds ", got.size(), " entries, naive model has ",
+                  want.size(), got != want && got.size() == want.size()
+                                   ? " (same size, different content)"
+                                   : "");
+    }
+    return std::string();
+  };
+  if (auto e = check_index(idle_r_, "idle-Re index", std::move(naive_idle_r));
+      !e.empty()) {
+    return e;
+  }
+  if (auto e = check_index(f_, "Fe index", std::move(naive_f)); !e.empty()) {
+    return e;
+  }
+
+  // be() must match the naive formula on the audited aggregates.
+  const Rate naive_be =
+      naive_r == 0 ? kRateInfinity
+                   : (capacity_ - naive_sum) / static_cast<Rate>(naive_r);
+  if (std::isinf(naive_be) != std::isinf(be()) ||
+      (!std::isinf(naive_be) &&
+       std::fabs(be() - naive_be) >
+           1e-9 * std::max(1.0, std::fabs(naive_be)))) {
+    return fail("be() ", be(), " != naive ", naive_be);
+  }
+  return std::string();
 }
 
 bool LinkSessionTable::stable() const {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -140,6 +141,14 @@ class LinkSessionTable {
   /// Link stability (paper Definition 2, per-link part): every session
   /// idle; every Re rate equals Be; if Re ≠ ∅, every Fe rate < Be.
   [[nodiscard]] bool stable() const;
+
+  /// Full internal-consistency audit against a naive reconstruction from
+  /// the record map: |Re| and Σ_{Fe} λ aggregates, membership and λ keys
+  /// of both ordered indexes (idle-Re and Fe), index ordering, and be().
+  /// Returns an empty string when consistent, else a description of the
+  /// first violation.  O(n log n); intended for the property harness
+  /// (src/check/), not for per-packet paths.
+  [[nodiscard]] std::string audit() const;
 
   /// Iterates (session, in_r, mu, lambda) for diagnostics/tests.
   template <class Fn>

@@ -10,6 +10,13 @@ void RouterLink::kick(SessionId s) {
   transport_.send_upstream(u, table_.hop(s));
 }
 
+void RouterLink::kick_batch(const std::vector<SessionId>& batch) {
+  for (const SessionId s : batch) {
+    kick(s);
+    if (fault_single_kick_) break;  // harness-validation mutation
+  }
+}
+
 void RouterLink::process_new_restricted() {
   // while ∃s ∈ Fe : λes ≥ Be — move the maximal-rate Fe sessions to Re.
   while (table_.f_size() > 0 && table_.exists_F_ge_be()) {
@@ -20,9 +27,7 @@ void RouterLink::process_new_restricted() {
   }
   // foreach s ∈ Re : µ = IDLE ∧ λes > Be — their rate must shrink.
   table_.idle_R_above(table_.be(), scratch_);
-  for (const SessionId s : scratch_) {
-    kick(s);
-  }
+  kick_batch(scratch_);
 }
 
 void RouterLink::on_join(const Packet& p, std::int32_t hop) {
@@ -115,9 +120,7 @@ void RouterLink::on_set_bottleneck(const Packet& p, std::int32_t hop) {
     // pinned at the current Be gain headroom from the move, so re-probe
     // them (computed before the move, as in the pseudocode).
     table_.idle_R_at(be, p.session, scratch_);
-    for (const SessionId r : scratch_) {
-      kick(r);
-    }
+    kick_batch(scratch_);
     table_.move_to_F(p.session);
     transport_.send_downstream(p, hop);
   } else if (table_.mu(p.session) == Mu::Idle &&
@@ -133,9 +136,7 @@ void RouterLink::on_leave(const Packet& p, std::int32_t hop) {
   // only raise Be, so these sessions may deserve more bandwidth.
   table_.idle_R_at(table_.be(), p.session, scratch_);
   table_.erase(p.session);
-  for (const SessionId r : scratch_) {
-    kick(r);
-  }
+  kick_batch(scratch_);
   transport_.send_downstream(p, hop);
 }
 

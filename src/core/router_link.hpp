@@ -30,8 +30,15 @@ class Transport {
 
 class RouterLink {
  public:
-  RouterLink(LinkId id, Rate capacity, Transport& transport)
-      : id_(id), table_(capacity), transport_(transport) {}
+  /// `fault_single_kick` enables the documented harness-validation
+  /// mutation (BneckConfig::fault_single_kick): kick batches re-probe
+  /// only their first session.
+  RouterLink(LinkId id, Rate capacity, Transport& transport,
+             bool fault_single_kick = false)
+      : id_(id),
+        table_(capacity),
+        transport_(transport),
+        fault_single_kick_(fault_single_kick) {}
 
   RouterLink(const RouterLink&) = delete;
   RouterLink& operator=(const RouterLink&) = delete;
@@ -58,9 +65,14 @@ class RouterLink {
   /// Emits Update(s) upstream from this link and marks s WAITING_PROBE.
   void kick(SessionId s);
 
+  /// kick() for every session in `batch` — or only the first when the
+  /// fault_single_kick mutation is armed.
+  void kick_batch(const std::vector<SessionId>& batch);
+
   LinkId id_;
   LinkSessionTable table_;
   Transport& transport_;
+  bool fault_single_kick_;
   // Reused buffer for the table's set-valued queries; the handlers never
   // overlap two live query results, and packet handling is synchronous
   // (emitted packets are delivered by later simulator events), so one

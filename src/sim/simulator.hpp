@@ -85,6 +85,15 @@ class Simulator {
 
   [[nodiscard]] bool idle() const { return keys_.empty(); }
   [[nodiscard]] std::size_t pending() const { return keys_.size(); }
+
+  /// Timestamp of the earliest pending event; kTimeNever when idle.
+  /// Checker hook: lets an external driver process events one step at a
+  /// time up to a horizon (with per-step inspection) without consuming
+  /// events beyond it.
+  [[nodiscard]] TimeNs next_event_time() const {
+    return keys_.empty() ? kTimeNever : keys_.front().t;
+  }
+
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] TimeNs last_event_time() const { return last_event_time_; }
 

@@ -1,0 +1,255 @@
+// Tests for the property harness (src/check/): scenario generation and
+// normalization, spec round-trips, the invariant checker on known-good
+// and known-bad protocols, and the shrinker end to end.
+//
+// The "known-bad protocol" is the documented harness-validation mutation
+// BneckConfig::fault_single_kick (RouterLink re-probes only the first
+// session of each kick batch).  The harness must (a) catch it on a small
+// seed block and (b) shrink a failing schedule to a handful of events —
+// this is the acceptance test that the fuzzer finds real ordering bugs
+// rather than vacuously passing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/runner.hpp"
+#include "check/scenario.hpp"
+#include "check/shrink.hpp"
+
+namespace bneck::check {
+namespace {
+
+// ---- scenario generation ----
+
+TEST(Scenario, GenerationIsDeterministic) {
+  for (const std::uint64_t seed : {0u, 7u, 99u}) {
+    const Scenario a = generate_scenario(seed);
+    const Scenario b = generate_scenario(seed);
+    EXPECT_EQ(a.events, b.events) << "seed " << seed;
+    EXPECT_EQ(a.topo.kind, b.topo.kind);
+    EXPECT_EQ(a.loss_probability, b.loss_probability);
+  }
+}
+
+TEST(Scenario, GeneratedSchedulesAreAlreadyNormalized) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Scenario sc = generate_scenario(seed);
+    const auto before = sc.events;
+    EXPECT_EQ(normalize(sc), 0u) << "seed " << seed;
+    EXPECT_EQ(sc.events, before) << "seed " << seed;
+  }
+}
+
+TEST(Scenario, GeneratorCoversEveryTopologyFamily) {
+  bool seen[7] = {};
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    seen[static_cast<int>(generate_scenario(seed).topo.kind)] = true;
+  }
+  for (int k = 0; k < 7; ++k) {
+    EXPECT_TRUE(seen[k]) << topo_kind_name(static_cast<TopoKind>(k));
+  }
+}
+
+TEST(Scenario, BuildNetworkProducesValidTopologies) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const Scenario sc = generate_scenario(seed);
+    const net::Network n = build_network(sc.topo);  // validates internally
+    EXPECT_GE(n.host_count(), 2) << "seed " << seed;
+  }
+}
+
+// ---- normalization of invalid event lists ----
+
+TEST(Scenario, NormalizeDropsInvalidEvents) {
+  Scenario sc;
+  sc.topo.kind = TopoKind::Dumbbell;
+  sc.topo.a = 2;  // hosts 0,1 senders; 2,3 receivers
+  sc.events = {
+      {0, EventKind::Join, 0, 0, 2, kRateInfinity},     // ok
+      {0, EventKind::Join, 0, 1, 3, kRateInfinity},     // dup session id
+      {10, EventKind::Join, 1, 0, 3, kRateInfinity},    // source host busy
+      {20, EventKind::Join, 2, 1, 1, kRateInfinity},    // src == dst
+      {30, EventKind::Join, 3, 9, 0, kRateInfinity},    // host out of range
+      {40, EventKind::Join, 4, 1, 2, -5.0},             // bad demand
+      {50, EventKind::Change, 7, -1, -1, 10.0},         // unknown session
+      {60, EventKind::Leave, 0, -1, -1, kRateInfinity}, // ok
+      {70, EventKind::Leave, 0, -1, -1, kRateInfinity}, // double leave
+      {80, EventKind::Change, 0, -1, -1, 10.0},         // change after leave
+      {90, EventKind::Join, 5, 0, 2, 25.0},             // host free again: ok
+  };
+  EXPECT_EQ(normalize(sc), 8u);
+  ASSERT_EQ(sc.events.size(), 3u);
+  EXPECT_EQ(sc.events[0].session, 0);
+  EXPECT_EQ(sc.events[1].kind, EventKind::Leave);
+  EXPECT_EQ(sc.events[2].session, 5);
+}
+
+TEST(Scenario, NormalizeSortsByTimeStably) {
+  Scenario sc;
+  sc.topo.kind = TopoKind::Dumbbell;
+  sc.topo.a = 3;
+  sc.events = {
+      {100, EventKind::Join, 1, 1, 4, kRateInfinity},
+      {0, EventKind::Join, 0, 0, 3, kRateInfinity},
+      {100, EventKind::Leave, 0, -1, -1, kRateInfinity},
+  };
+  EXPECT_EQ(normalize(sc), 0u);
+  EXPECT_EQ(sc.events[0].session, 0);
+  EXPECT_EQ(sc.events[1].session, 1);  // stable order within t=100
+  EXPECT_EQ(sc.events[2].kind, EventKind::Leave);
+}
+
+// ---- spec round-trip ----
+
+TEST(Scenario, SpecRoundTripsExactly) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const Scenario sc = generate_scenario(seed);
+    const std::string spec = format_spec(sc);
+    const Scenario back = parse_spec(spec);
+    EXPECT_EQ(back.events, sc.events) << "seed " << seed << "\n" << spec;
+    EXPECT_EQ(back.topo.kind, sc.topo.kind);
+    EXPECT_EQ(back.topo.a, sc.topo.a);
+    EXPECT_EQ(back.topo.b, sc.topo.b);
+    EXPECT_EQ(back.topo.hpr, sc.topo.hpr);
+    EXPECT_EQ(back.topo.hosts, sc.topo.hosts);
+    EXPECT_EQ(back.topo.seed, sc.topo.seed);
+    EXPECT_EQ(back.topo.router_capacity, sc.topo.router_capacity);
+    EXPECT_EQ(back.topo.access_capacity, sc.topo.access_capacity);
+    EXPECT_EQ(back.topo.wan, sc.topo.wan);
+    EXPECT_EQ(back.loss_probability, sc.loss_probability);
+    EXPECT_EQ(back.seed, sc.seed);
+    EXPECT_EQ(format_spec(back), spec);
+  }
+}
+
+TEST(Scenario, ParseSpecRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_spec("v0 topo=line"), InvariantError);
+  EXPECT_THROW((void)parse_spec("v1 nonsense"), InvariantError);
+  EXPECT_THROW((void)parse_spec("v1 topo=klein_bottle"), InvariantError);
+  EXPECT_THROW((void)parse_spec("v1 ev=x@0:s0"), InvariantError);
+  EXPECT_THROW((void)parse_spec("v1 ev=j@0:s0"), InvariantError);
+  // stoll/stod failures surface as the documented InvariantError too.
+  EXPECT_THROW((void)parse_spec("v1 a=zz"), InvariantError);
+  EXPECT_THROW((void)parse_spec("v1 a=99999999999999999999"), InvariantError);
+  EXPECT_THROW((void)parse_spec("v1 rcap=1e999999"), InvariantError);
+}
+
+// ---- the checker on the correct protocol ----
+
+TEST(CheckRunner, FixedSeedBlockPassesClean) {
+  const CampaignResult campaign = run_seed_range(0, 150, 0, CheckOptions{});
+  EXPECT_EQ(campaign.seeds_run, 151u);
+  for (const CheckResult& f : campaign.failures) {
+    ADD_FAILURE() << "seed " << f.seed << ": " << f.message;
+  }
+  EXPECT_GT(campaign.quiescent_phases, 151u);  // multi-phase scenarios exist
+  EXPECT_GT(campaign.packets_sent, 0u);
+}
+
+TEST(CheckRunner, CampaignIsIndependentOfWorkerCount) {
+  const CampaignResult seq = run_seed_range(0, 40, 1, CheckOptions{});
+  const CampaignResult par = run_seed_range(0, 40, 4, CheckOptions{});
+  EXPECT_EQ(seq.events_processed, par.events_processed);
+  EXPECT_EQ(seq.packets_sent, par.packets_sent);
+  EXPECT_EQ(seq.quiescent_phases, par.quiescent_phases);
+  EXPECT_EQ(seq.failures.size(), par.failures.size());
+}
+
+TEST(CheckRunner, HandBuiltScenarioReportsPhases) {
+  Scenario sc;
+  sc.topo.kind = TopoKind::Dumbbell;
+  sc.topo.a = 2;
+  sc.topo.router_capacity = 100.0;
+  sc.events = {
+      {0, EventKind::Join, 0, 0, 2, kRateInfinity},
+      {0, EventKind::Join, 1, 1, 3, kRateInfinity},
+      {milliseconds(5), EventKind::Leave, 0, -1, -1, kRateInfinity},
+  };
+  const CheckResult r = run_scenario(sc, CheckOptions{});
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.quiescent_phases, 2);
+  EXPECT_EQ(r.schedule_events, 3u);
+  EXPECT_GT(r.events_processed, 0u);
+}
+
+// ---- the checker on the broken protocol (fault injection) ----
+
+CheckOptions fault_options() {
+  CheckOptions opt;
+  opt.fault_single_kick = true;
+  return opt;
+}
+
+TEST(CheckFault, SingleKickMutationIsCaughtOnASmallSeedBlock) {
+  const CampaignResult campaign = run_seed_range(0, 50, 0, fault_options());
+  EXPECT_FALSE(campaign.ok())
+      << "the single-kick mutation escaped 51 fuzzed schedules";
+}
+
+TEST(CheckFault, ShrinkerReducesAFailureToAHandfulOfEvents) {
+  // First failing seed of the block — deliberately re-discovered here so
+  // the test tracks generator changes instead of hardcoding one seed.
+  const CampaignResult campaign = run_seed_range(0, 50, 0, fault_options());
+  ASSERT_FALSE(campaign.ok());
+  const std::uint64_t seed = campaign.failures.front().seed;
+
+  ShrinkOptions sopt;
+  sopt.check = fault_options();
+  const ShrinkResult shrunk = shrink(generate_scenario(seed), sopt);
+
+  EXPECT_FALSE(shrunk.failure.empty());
+  EXPECT_LE(shrunk.minimal_events, 10u)
+      << "shrinker left " << shrunk.minimal_events << " of "
+      << shrunk.original_events << " events";
+  EXPECT_LE(shrunk.minimal_events, shrunk.original_events);
+
+  // The minimal scenario still fails with the fault armed...
+  const CheckResult bad = run_scenario(shrunk.minimal, fault_options());
+  EXPECT_FALSE(bad.ok);
+  // ... still fails after a spec round-trip (replayability) ...
+  const CheckResult replay =
+      run_scenario(parse_spec(format_spec(shrunk.minimal)), fault_options());
+  EXPECT_FALSE(replay.ok);
+  // ... and passes on the correct protocol (the failure is the fault's).
+  const CheckResult good = run_scenario(shrunk.minimal, CheckOptions{});
+  EXPECT_TRUE(good.ok) << good.message;
+}
+
+TEST(CheckFault, ShrinkOfAPassingScenarioThrows) {
+  Scenario sc;
+  sc.topo.kind = TopoKind::Dumbbell;
+  sc.topo.a = 2;
+  sc.events = {{0, EventKind::Join, 0, 0, 2, kRateInfinity}};
+  EXPECT_THROW((void)shrink(sc, ShrinkOptions{}), InvariantError);
+}
+
+// ---- reproducer emission ----
+
+TEST(CheckEmission, CppSnippetMentionsEverythingNeededToReproduce) {
+  Scenario sc;
+  sc.topo.kind = TopoKind::ParkingLot;
+  sc.topo.a = 4;
+  sc.topo.router_capacity = 50.0;
+  sc.events = {
+      {0, EventKind::Join, 0, 0, 2, kRateInfinity},
+      {10, EventKind::Change, 0, -1, -1, 12.5},
+      {20, EventKind::Leave, 0, -1, -1, kRateInfinity},
+  };
+  const std::string code = cpp_snippet(sc, "Example", true);
+  EXPECT_NE(code.find("TEST(BneckCheckRepro, Example)"), std::string::npos);
+  EXPECT_NE(code.find("TopoKind::ParkingLot"), std::string::npos);
+  EXPECT_NE(code.find("EventKind::Change"), std::string::npos);
+  EXPECT_NE(code.find("opt.fault_single_kick = true;"), std::string::npos);
+  EXPECT_NE(code.find("bneck_check --replay"), std::string::npos);
+  // The embedded replay line is itself a parseable spec.
+  const auto from = code.find("--replay \"") + 10;
+  const auto to = code.find('"', from);
+  const Scenario back = parse_spec(code.substr(from, to - from));
+  EXPECT_EQ(back.events, sc.events);
+  // Without the fault flag the options stay default.
+  const std::string clean = cpp_snippet(sc, "Example", false);
+  EXPECT_EQ(clean.find("fault_single_kick"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bneck::check

@@ -3,6 +3,9 @@
 // Figure-1 algorithm with the fast water-filling on random instances.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/maxmin.hpp"
@@ -470,6 +473,133 @@ TEST(WeightedMaxMin, NonPositiveWeightRejected) {
   spec.weight = 0.0;
   std::vector<SessionSpec> s{std::move(spec)};
   EXPECT_THROW(solve_reference(n, s), InvariantError);
+}
+
+// ---- golden weighted regression: random instances, solver rates
+// cross-checked against a naive reconstruction of annotate_links ----
+
+std::vector<SessionSpec> weighted_instance(const Network& n, Rng& rng,
+                                           std::int32_t count) {
+  const PathFinder pf(n);
+  std::vector<SessionSpec> specs;
+  const auto sources = sample_distinct(rng, n.host_count(), count);
+  for (std::int32_t i = 0; i < count; ++i) {
+    const NodeId src = n.hosts()[static_cast<std::size_t>(
+        sources[static_cast<std::size_t>(i)])];
+    NodeId dst = src;
+    while (dst == src) {
+      dst = n.hosts()[static_cast<std::size_t>(
+          rng.uniform_int(0, n.host_count() - 1))];
+    }
+    SessionSpec spec{SessionId{i}, *pf.shortest_path(src, dst),
+                     rng.chance(0.3) ? rng.uniform_real(1.0, 100.0)
+                                     : kRateInfinity};
+    spec.weight = rng.uniform_real(0.25, 4.0);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(WeightedMaxMin, RandomInstancesCrossCheckSolverAgainstAnnotation) {
+  for (std::uint64_t seed = 601; seed <= 616; ++seed) {
+    Rng rng(seed);
+    const auto n = topo::make_random(10, 6, 24, rng);
+    const auto specs = weighted_instance(n, rng, 16);
+
+    const auto ref = solve_reference(n, specs);
+    const auto fast = solve_waterfill(n, specs);
+    ASSERT_EQ(ref.rates.size(), fast.rates.size());
+    for (std::size_t i = 0; i < ref.rates.size(); ++i) {
+      EXPECT_NEAR(ref.rates[i], fast.rates[i],
+                  1e-6 * std::max(1.0, ref.rates[i]))
+          << "seed " << seed << " session " << i;
+    }
+    EXPECT_EQ(check_maxmin_invariants(n, specs, ref.rates), "")
+        << "seed " << seed;
+
+    // Rebuild every LinkInfo field from scratch (plain loops over the
+    // rate vector) and require exact agreement with annotate_links.
+    const auto ann = annotate_links(n, specs, ref.rates);
+    std::unordered_map<LinkId, LinkInfo> naive;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      for (const LinkId e : specs[i].path.links) {
+        LinkInfo& info = naive.try_emplace(e).first->second;
+        info.capacity = n.link(e).capacity;
+        info.assigned += ref.rates[i];
+        info.bottleneck_rate = std::max(info.bottleneck_rate,
+                                        ref.rates[i] / specs[i].weight);
+        ++info.sessions;
+      }
+    }
+    ASSERT_EQ(ann.size(), naive.size()) << "seed " << seed;
+    for (auto& [e, info] : naive) {
+      info.saturated = rate_ge(info.assigned, info.capacity, kRateCheckEps);
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        const bool crosses =
+            std::find(specs[i].path.links.begin(), specs[i].path.links.end(),
+                      e) != specs[i].path.links.end();
+        if (crosses && info.saturated &&
+            rate_eq(ref.rates[i] / specs[i].weight, info.bottleneck_rate,
+                    kRateCheckEps)) {
+          ++info.restricted;
+        }
+      }
+      const auto it = ann.find(e);
+      ASSERT_NE(it, ann.end()) << "seed " << seed << " link " << e;
+      EXPECT_DOUBLE_EQ(it->second.capacity, info.capacity);
+      EXPECT_NEAR(it->second.assigned, info.assigned, 1e-9)
+          << "seed " << seed << " link " << e;
+      EXPECT_NEAR(it->second.bottleneck_rate, info.bottleneck_rate, 1e-9)
+          << "seed " << seed << " link " << e;
+      EXPECT_EQ(it->second.sessions, info.sessions)
+          << "seed " << seed << " link " << e;
+      EXPECT_EQ(it->second.saturated, info.saturated)
+          << "seed " << seed << " link " << e;
+      EXPECT_EQ(it->second.restricted, info.restricted)
+          << "seed " << seed << " link " << e;
+    }
+
+    // Weighted restriction, asserted directly: every session meets its
+    // demand or is maximal (λ/w) on some saturated link of its path.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (rate_eq(ref.rates[i], specs[i].demand, kRateCheckEps)) continue;
+      bool restricted = false;
+      for (const LinkId e : specs[i].path.links) {
+        const LinkInfo& info = naive.at(e);
+        if (info.saturated &&
+            rate_eq(ref.rates[i] / specs[i].weight, info.bottleneck_rate,
+                    kRateCheckEps)) {
+          restricted = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(restricted) << "seed " << seed << " session " << i;
+    }
+  }
+}
+
+TEST(WeightedMaxMin, GoldenRandomInstancesKeepTheirRates) {
+  // Exact allocations pinned for two fixed instances: any semantic drift
+  // in the weighted solvers (level ordering, demand transform, weight
+  // normalization) shows up as a diff here even if both solvers drift in
+  // lockstep and the property checks above still hold.
+  const std::vector<std::pair<std::uint64_t, std::vector<Rate>>> golden = {
+      {601,
+       {74.7719580432, 69.0279161007, 21.4339875286, 25.0781396436, 100,
+        95.0779020001, 100, 23.2081367708, 44.2627585494, 100, 38.0566488243,
+        55.7372414506, 100, 100, 13.6570747612, 100}},
+      {602,
+       {34.1202756651, 65.8797243349, 18.1237117847, 83.4331518268, 100, 100,
+        100, 100, 38.3297905543, 100, 100, 84.9254664986, 16.5668481732,
+        38.3297905543, 95.7904851109, 100}},
+  };
+  for (const auto& [seed, want] : golden) {
+    Rng rng(seed);
+    const auto n = topo::make_random(10, 6, 24, rng);
+    const auto specs = weighted_instance(n, rng, 16);
+    expect_rates(solve_reference(n, specs), want, 1e-9);
+    expect_rates(solve_waterfill(n, specs), want, 1e-6);
+  }
 }
 
 // Water-filling on a transit-stub network (integration-sized instance).

@@ -285,6 +285,122 @@ TEST(TypedEvents, SchedulingDeliveryIntoThePastThrows) {
   EXPECT_THROW(s.schedule_delivery_at(10, c, IntPayload{1}), InvariantError);
 }
 
+// ---- equal-timestamp interleaving of cold callbacks and inline
+// deliveries (the tie-break contract the scenario fuzzer relies on) ----
+
+/// Delivery handler appending into a sequence shared with callbacks, so
+/// one vector witnesses the interleaved order of both event kinds.
+struct SharedOrder final : DeliveryHandlerOf<SharedOrder, IntPayload> {
+  std::vector<std::int64_t>* order = nullptr;
+  void on_delivery(const IntPayload& p) { order->push_back(p.value); }
+};
+
+TEST(TypedEvents, MixedKindsAtOneInstantFireInExactInsertionOrder) {
+  // Alternating callback / delivery / callback ... at a single
+  // timestamp: the shared sequence must come out exactly in insertion
+  // order, with no bias between the two representations.
+  Simulator s;
+  std::vector<std::int64_t> order;
+  SharedOrder h;
+  h.order = &order;
+  std::vector<std::int64_t> want;
+  for (std::int64_t i = 0; i < 40; ++i) {
+    if (i % 2 == 0) {
+      s.schedule_at(7, [&order, i] { order.push_back(i); });
+    } else {
+      s.schedule_delivery_at(7, h, IntPayload{i});
+    }
+    want.push_back(i);
+  }
+  s.run_until_idle();
+  EXPECT_EQ(order, want);
+}
+
+TEST(TypedEvents, HandlersSchedulingAtTheCurrentInstantRunAfterQueuedPeers) {
+  // An event firing at time t that schedules more work *at t* (zero
+  // delay) gets a larger insertion sequence than everything already
+  // queued for t — across kinds: a callback spawning a delivery and a
+  // delivery's handler spawning a callback both append, never preempt.
+  Simulator s;
+  std::vector<std::int64_t> order;
+  SharedOrder h;
+  h.order = &order;
+
+  struct Spawner final : DeliveryHandlerOf<Spawner, IntPayload> {
+    Simulator* sim = nullptr;
+    std::vector<std::int64_t>* order = nullptr;
+    void on_delivery(const IntPayload& p) {
+      order->push_back(p.value);
+      if (p.value == 1) {
+        sim->schedule_in(0, [this] { order->push_back(100); });
+      }
+    }
+  };
+  Spawner spawner;
+  spawner.sim = &s;
+  spawner.order = &order;
+
+  s.schedule_at(5, [&] {
+    order.push_back(0);
+    // Spawned at the current instant: must run after values 1 and 2,
+    // which were queued for t=5 first.
+    s.schedule_delivery_in(0, h, IntPayload{10});
+    s.schedule_in(0, [&order] { order.push_back(11); });
+  });
+  s.schedule_delivery_at(5, spawner, IntPayload{1});  // spawns callback 100
+  s.schedule_at(5, [&order] { order.push_back(2); });
+  s.run_until_idle();
+  EXPECT_EQ(s.now(), 5);
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 10, 11, 100}));
+}
+
+TEST(TypedEvents, MixedTieBreakSurvivesHeapStress) {
+  // Heavy-tie stress with *both* kinds in one heap: the analogue of
+  // HeapOrdersArbitraryTimesWithTies for the tagged-union representation.
+  std::mt19937_64 rng(77);
+  Simulator s;
+  std::vector<std::int64_t> order;
+  SharedOrder h;
+  h.order = &order;
+  std::vector<std::pair<TimeNs, std::int64_t>> scheduled;
+  for (std::int64_t i = 0; i < 20000; ++i) {
+    const TimeNs t = static_cast<TimeNs>(rng() % 97);  // dense ties
+    scheduled.emplace_back(t, i);
+    if (rng() % 2 == 0) {
+      s.schedule_delivery_at(t, h, IntPayload{i});
+    } else {
+      s.schedule_at(t, [&order, i] { order.push_back(i); });
+    }
+  }
+  s.run_until_idle();
+  std::stable_sort(
+      scheduled.begin(), scheduled.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(order.size(), scheduled.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(order[i], scheduled[i].second) << "at position " << i;
+  }
+}
+
+TEST(TypedEvents, NextEventTimeTracksTheHeapHead) {
+  // The checker hook added for the property harness: next_event_time()
+  // is the head timestamp across both event kinds and kTimeNever when
+  // idle, and run_until() leaves exactly the future events pending.
+  Simulator s;
+  Collector c;
+  EXPECT_EQ(s.next_event_time(), kTimeNever);
+  s.schedule_at(30, [] {});
+  EXPECT_EQ(s.next_event_time(), 30);
+  s.schedule_delivery_at(10, c, IntPayload{1});
+  EXPECT_EQ(s.next_event_time(), 10);
+  while (s.next_event_time() <= 10) {
+    ASSERT_TRUE(s.step());
+  }
+  EXPECT_EQ(s.next_event_time(), 30);
+  s.run_until_idle();
+  EXPECT_EQ(s.next_event_time(), kTimeNever);
+}
+
 TEST(FifoChannel, IdleLinkDeliversAfterTxPlusProp) {
   FifoChannel ch;
   EXPECT_EQ(ch.transmit(100, 10, 1000), 1110);

@@ -1,0 +1,233 @@
+// bneck_check — property-based fuzzing CLI for the B-Neck state machines.
+//
+// Runs randomized join/leave/change schedules over randomized topologies
+// under the online invariant checker (src/check/), fans seed blocks over
+// a thread pool, and shrinks failures to minimal reproducers.
+//
+//   bneck_check --seeds 0..500                 # fuzz a seed block
+//   bneck_check --seeds 0..5000 --threads 8    # long campaign
+//   bneck_check --seeds 0..200 --shrink        # minimize any failure
+//   bneck_check --replay "<spec>"              # re-run an emitted spec
+//   bneck_check --inject-fault single-kick ... # harness self-validation
+//
+// Exit code: 0 when every seed passes, 1 on any invariant violation (the
+// failing seeds, their violations and — with --shrink — a minimal spec,
+// a replay command line and a C++ regression snippet are printed).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/runner.hpp"
+#include "check/scenario.hpp"
+#include "check/shrink.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--seeds A..B | --replay \"<spec>\"] [options]\n"
+      "  --seeds A..B          seed range, inclusive (default 0..100)\n"
+      "  --threads N           worker threads (0 = all cores, default)\n"
+      "  --shrink              minimize failures to a minimal reproducer\n"
+      "  --max-shrink-runs N   candidate re-runs per shrink (default 4000)\n"
+      "  --replay \"<spec>\"     run one scenario spec (from the shrinker)\n"
+      "  --inject-fault NAME   arm a documented protocol mutation\n"
+      "                        (none | single-kick) to validate the harness\n"
+      "  --audit-stride N      audit link tables every N events (default 256)\n"
+      "  --quiescence-slack X  quiescence-bound multiplier, <=0 off (default 32)\n"
+      "  --packet-slack X      packet-budget multiplier, <=0 off (default 64)\n"
+      "  --max-events N        per-scenario event budget (default 2e7)\n"
+      "  -v                    per-seed progress\n",
+      argv0);
+}
+
+struct Args {
+  std::uint64_t seed_first = 0;
+  std::uint64_t seed_last = 100;
+  std::size_t threads = 0;
+  bool do_shrink = false;
+  std::size_t max_shrink_runs = 4000;
+  std::string replay;
+  bool verbose = false;
+  bneck::check::CheckOptions check;
+};
+
+bool parse_seed_range(const char* text, std::uint64_t* first,
+                      std::uint64_t* last) {
+  const char* dots = std::strstr(text, "..");
+  char* end = nullptr;
+  if (dots == nullptr) {
+    *first = *last = std::strtoull(text, &end, 10);
+    return end != text && *end == '\0';
+  }
+  *first = std::strtoull(text, &end, 10);
+  if (end != dots) return false;
+  const char* tail = dots + 2;
+  *last = std::strtoull(tail, &end, 10);
+  return end != tail && *end == '\0' && *first <= *last;
+}
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_seed_range(v, &a->seed_first, &a->seed_last)) {
+        std::fprintf(stderr, "bad --seeds (want A..B or N)\n");
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->threads = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shrink") == 0) {
+      a->do_shrink = true;
+    } else if (std::strcmp(argv[i], "--max-shrink-runs") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->max_shrink_runs =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->replay = v;
+    } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "single-kick") == 0) {
+        a->check.fault_single_kick = true;
+      } else if (std::strcmp(v, "none") != 0) {
+        std::fprintf(stderr, "unknown fault '%s' (none | single-kick)\n", v);
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--audit-stride") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->check.audit_stride =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quiescence-slack") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->check.quiescence_slack = std::atof(v);
+    } else if (std::strcmp(argv[i], "--packet-slack") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->check.packet_slack = std::atof(v);
+    } else if (std::strcmp(argv[i], "--max-events") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->check.max_events = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "-v") == 0) {
+      a->verbose = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_failure_details(const bneck::check::Scenario& scenario,
+                           const bneck::check::CheckResult& result,
+                           const Args& args) {
+  std::printf("[FAIL] seed %" PRIu64 ": %s\n", result.seed,
+              result.message.c_str());
+  std::printf("       replay: bneck_check --replay \"%s\"%s\n",
+              bneck::check::format_spec(scenario).c_str(),
+              args.check.fault_single_kick ? " --inject-fault single-kick"
+                                          : "");
+  if (!args.do_shrink) return;
+
+  bneck::check::ShrinkOptions sopt;
+  sopt.max_runs = args.max_shrink_runs;
+  sopt.check = args.check;
+  const auto shrunk = bneck::check::shrink(scenario, sopt);
+  std::printf(
+      "       shrunk %zu -> %zu events in %zu runs; minimal violation: %s\n",
+      shrunk.original_events, shrunk.minimal_events, shrunk.runs,
+      shrunk.failure.c_str());
+  std::printf("       minimal replay: bneck_check --replay \"%s\"%s\n",
+              bneck::check::format_spec(shrunk.minimal).c_str(),
+              args.check.fault_single_kick ? " --inject-fault single-kick"
+                                          : "");
+  const std::string name = "Seed" + std::to_string(result.seed);
+  std::printf("----- C++ reproducer -----\n%s--------------------------\n",
+              bneck::check::cpp_snippet(shrunk.minimal, name,
+                                        args.check.fault_single_kick)
+                  .c_str());
+}
+
+}  // namespace
+
+int run(const Args& args);
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    usage(argv[0]);
+    return 2;
+  }
+  try {
+    return run(args);
+  } catch (const bneck::InvariantError& e) {
+    // Malformed replay specs and unbuildable scenarios land here; report
+    // them as a usage error instead of std::terminate.
+    std::fprintf(stderr, "bneck_check: %s\n", e.what());
+    return 2;
+  }
+}
+
+int run(const Args& args) {
+  if (!args.replay.empty()) {
+    const auto scenario = bneck::check::parse_spec(args.replay);
+    const auto result = bneck::check::run_scenario(scenario, args.check);
+    if (result.ok) {
+      std::printf("[ ok ] replay: %d quiescent phase(s), %" PRIu64
+                  " events, %" PRIu64 " packets\n",
+                  result.quiescent_phases, result.events_processed,
+                  result.packets_sent);
+      return 0;
+    }
+    print_failure_details(scenario, result, args);
+    return 1;
+  }
+
+  if (args.verbose) {
+    // Sequential verbose mode: per-seed lines, still deterministic.
+    int failures = 0;
+    for (std::uint64_t s = args.seed_first; s <= args.seed_last; ++s) {
+      const auto result = bneck::check::run_seed(s, args.check);
+      if (result.ok) {
+        std::printf("[ ok ] seed %" PRIu64 ": %zu schedule events, %d "
+                    "phase(s), %" PRIu64 " sim events\n",
+                    s, result.schedule_events, result.quiescent_phases,
+                    result.events_processed);
+        continue;
+      }
+      ++failures;
+      print_failure_details(bneck::check::generate_scenario(s), result, args);
+    }
+    return failures > 0 ? 1 : 0;
+  }
+
+  const auto campaign = bneck::check::run_seed_range(
+      args.seed_first, args.seed_last, args.threads, args.check);
+  std::printf("bneck_check: %" PRIu64 " seeds, %" PRIu64
+              " quiescent phases, %" PRIu64 " sim events, %" PRIu64
+              " packets, %zu failure(s)\n",
+              campaign.seeds_run, campaign.quiescent_phases,
+              campaign.events_processed, campaign.packets_sent,
+              campaign.failures.size());
+  for (const auto& failure : campaign.failures) {
+    print_failure_details(bneck::check::generate_scenario(failure.seed),
+                          failure, args);
+  }
+  return campaign.ok() ? 0 : 1;
+}
