@@ -1,4 +1,4 @@
-// Ablation bench: design choices called out in DESIGN.md.
+// Ablation bench: design choices called out in docs/protocol.md.
 //
 //   (a) transmission-time modelling on/off — how much of the time to
 //       quiescence is serialization on shared links vs propagation and

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Docs hygiene: validate intra-repo markdown links and anchors.
+
+Scans the given markdown files (default: README.md, ROADMAP.md and
+docs/*.md relative to the repo root) for inline links `[text](target)`
+and checks that
+
+  * relative file targets exist (querystring-free, repo-relative or
+    file-relative);
+  * `#anchor` fragments — both in-page and on a linked markdown file —
+    match a heading of the target file under GitHub's slug rules;
+  * absolute http(s)/mailto targets are *not* checked (offline).
+
+Exit code 0 when every link resolves, 1 otherwise (each broken link is
+reported on stderr).  `--self-test` exercises the checker against
+synthetic files in a temp dir and needs no repo state.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    anchors = set()
+    seen = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def links_of(path: pathlib.Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(md: pathlib.Path, repo_root: pathlib.Path) -> list:
+    errors = []
+    for lineno, target in links_of(md):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        target, _, fragment = target.partition("#")
+        if target:
+            dest = (md.parent / target).resolve()
+            if not dest.exists():
+                dest_from_root = (repo_root / target).resolve()
+                if dest_from_root.exists():
+                    dest = dest_from_root
+                else:
+                    errors.append(f"{md}:{lineno}: broken link target "
+                                  f"'{target}'")
+                    continue
+        else:
+            dest = md
+        if fragment and dest.suffix == ".md":
+            if fragment not in anchors_of(dest):
+                errors.append(f"{md}:{lineno}: broken anchor "
+                              f"'#{fragment}' in '{dest.name}'")
+    return errors
+
+
+def run(files, repo_root: pathlib.Path) -> int:
+    errors = []
+    for f in files:
+        if not f.exists():
+            errors.append(f"{f}: file not found")
+            continue
+        errors.extend(check_file(f, repo_root))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(files)} markdown file(s): all links ok")
+    return 1 if errors else 0
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        (root / "docs").mkdir()
+        (root / "docs" / "a.md").write_text(
+            "# Title\n\n## Weighted max-min\n\n"
+            "[ok](b.md)\n[ok2](b.md#section-two)\n[self](#weighted-max-min)\n"
+            "```\n[not a link in a fence](nope.md)\n```\n",
+            encoding="utf-8")
+        (root / "docs" / "b.md").write_text(
+            "# B\n\n## Section two\n", encoding="utf-8")
+        (root / "bad.md").write_text(
+            "[broken](missing.md)\n[badanchor](docs/b.md#nope)\n"
+            "[web](https://example.com/untouched)\n", encoding="utf-8")
+        good = run([root / "docs" / "a.md"], root)
+        assert good == 0, "clean file flagged"
+        bad_errors = check_file(root / "bad.md", root)
+        assert len(bad_errors) == 2, f"want 2 errors, got {bad_errors}"
+        assert "missing.md" in bad_errors[0]
+        assert "#nope" in bad_errors[1]
+    print("self-test ok")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="*", type=pathlib.Path,
+                    help="markdown files (default: README.md, ROADMAP.md, "
+                         "docs/*.md)")
+    ap.add_argument("--repo-root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent.parent)
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    files = args.files
+    if not files:
+        root = args.repo_root
+        files = [root / "README.md", root / "ROADMAP.md"]
+        files += sorted((root / "docs").glob("*.md"))
+    return run(files, args.repo_root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

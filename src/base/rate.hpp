@@ -5,7 +5,7 @@
 // with floating point, sums over session sets computed in different orders
 // round differently, so every rate comparison in this code base goes
 // through the tolerant helpers below (relative epsilon, default 1e-9).
-// See DESIGN.md §3 "Rate equality".
+// See docs/protocol.md "Deliberate divergences from the paper".
 #pragma once
 
 #include <cmath>

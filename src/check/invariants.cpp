@@ -31,10 +31,11 @@ TimeNs InvariantChecker::tx_time(const net::Link& l) const {
 }
 
 void InvariantChecker::on_join(SessionId s, const net::Path& path,
-                               Rate demand) {
+                               Rate demand, double weight) {
   SessionInfo info;
   info.path = path;
   info.demand = demand;
+  info.weight = weight;
   info.active = true;
   for (const LinkId e : path.links) {
     info.min_capacity = std::min(info.min_capacity, net_.link(e).capacity);
@@ -53,11 +54,12 @@ void InvariantChecker::on_leave(SessionId s) {
   draining_hops_ += it->second.path.links.size();
 }
 
-void InvariantChecker::on_change(SessionId s, Rate demand) {
+void InvariantChecker::on_change(SessionId s, Rate demand, double weight) {
   const auto it = sessions_.find(s);
   BNECK_EXPECT(it != sessions_.end() && it->second.active,
                "checker: change of inactive session (unnormalized scenario?)");
   it->second.demand = demand;
+  it->second.weight = weight;
 }
 
 void InvariantChecker::on_burst(TimeNs t) {
@@ -87,7 +89,7 @@ void InvariantChecker::on_burst(TimeNs t) {
     max_rtt = std::max(max_rtt, rtt);
     if (!info.active) continue;
     hops += info.path.links.size();
-    specs.push_back(core::SessionSpec{s, info.path, info.demand});
+    specs.push_back(core::SessionSpec{s, info.path, info.demand, info.weight});
   }
   std::sort(specs.begin(), specs.end(),
             [](const core::SessionSpec& a, const core::SessionSpec& b) {
@@ -294,8 +296,9 @@ void InvariantChecker::on_quiescent(TimeNs quiesced_at) {
   }
 
   // Per-link recorded state agrees with the allocation: every active
-  // session is present at every router hop of its path with λ equal to
-  // its allocated rate.
+  // session is present at every router hop of its path with its recorded
+  // rate (weight x recorded level) equal to its allocated rate and with
+  // the weight the schedule last announced.
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& links = specs[i].path.links;
     for (std::size_t h = 1; h < links.size(); ++h) {
@@ -307,11 +310,20 @@ void InvariantChecker::on_quiescent(TimeNs quiesced_at) {
         fail(quiesced_at, os.str());
         return;
       }
-      const Rate lambda = rl->table().lambda(specs[i].id);
-      if (std::fabs(lambda - notified[i]) >
+      const double weight = rl->table().weight(specs[i].id);
+      if (weight != specs[i].weight) {
+        std::ostringstream os;
+        os << "link " << links[h] << " records weight " << weight
+           << " for session " << specs[i].id << ", schedule announced "
+           << specs[i].weight;
+        fail(quiesced_at, os.str());
+        return;
+      }
+      const Rate rate = rl->table().rate_of(specs[i].id);
+      if (std::fabs(rate - notified[i]) >
           kRateCheckEps * std::max(1.0, notified[i])) {
         std::ostringstream os;
-        os << "link " << links[h] << " records λ=" << format_rate(lambda)
+        os << "link " << links[h] << " records w·λ=" << format_rate(rate)
            << " for session " << specs[i].id << ", allocated "
            << format_rate(notified[i]);
         fail(quiesced_at, os.str());

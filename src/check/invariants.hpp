@@ -16,11 +16,13 @@
 //     table entry belongs to a known session at the right hop/link.
 //   * on_quiescent — whenever the event queue drains: full network
 //     stability (paper Definition 2), exact agreement of the notified
-//     rates with the centralized max-min solver on the active sessions
-//     (within kRateCheckEps), feasibility + per-session restriction
-//     (core::check_maxmin_invariants), per-link recorded rates equal to
-//     the sessions' allocated rates, and — on reliable links — the
-//     quiescence-time bound after the phase's last API change.
+//     rates with the centralized *weighted* max-min solver on the active
+//     sessions (within kRateCheckEps; the solver is the protocol's
+//     ground truth for non-uniform weights too), feasibility +
+//     per-session restriction (core::check_maxmin_invariants), per-link
+//     recorded rates (weight x recorded level) equal to the sessions'
+//     allocated rates, and — on reliable links — the quiescence-time
+//     bound after the phase's last API change.
 //
 // Properties that only hold at fixpoints (solver agreement, stability,
 // feasibility of rate *sums*) are checked at quiescent instants;
@@ -78,9 +80,13 @@ class InvariantChecker final : public core::TraceSink {
   void attach(core::BneckProtocol& bneck);
 
   // ---- schedule bookkeeping (runner calls these at API time) ----
-  void on_join(SessionId s, const net::Path& path, Rate demand);
+  void on_join(SessionId s, const net::Path& path, Rate demand,
+               double weight = 1.0);
   void on_leave(SessionId s);
-  void on_change(SessionId s, Rate demand);
+  /// `weight` is deliberately not defaulted: BneckProtocol::change(s, r)
+  /// *preserves* the session's weight, so a demand-only change must pass
+  /// the current weight explicitly or the checker's ground truth drifts.
+  void on_change(SessionId s, Rate demand, double weight);
   /// Called after a burst of same-timestamp API calls has been applied:
   /// recomputes the phase budgets (packet and quiescence-time bounds).
   void on_burst(TimeNs t);
@@ -106,6 +112,7 @@ class InvariantChecker final : public core::TraceSink {
   struct SessionInfo {
     net::Path path;
     Rate demand = kRateInfinity;
+    double weight = 1.0;                // max-min weight
     Rate min_capacity = kRateInfinity;  // tightest link on the path
     bool active = false;
   };

@@ -66,8 +66,8 @@ CheckResult run_scenario(const Scenario& sc, const CheckOptions& opt) {
                 net.hosts()[static_cast<std::size_t>(ev.src_host)],
                 net.hosts()[static_cast<std::size_t>(ev.dst_host)]);
             BNECK_EXPECT(path.has_value(), "no route between scenario hosts");
-            chk.on_join(s, *path, ev.demand);
-            bneck.join(s, *path, ev.demand);
+            chk.on_join(s, *path, ev.demand, ev.weight);
+            bneck.join(s, *path, ev.demand, ev.weight);
             break;
           }
           case EventKind::Leave:
@@ -75,8 +75,8 @@ CheckResult run_scenario(const Scenario& sc, const CheckOptions& opt) {
             bneck.leave(s);
             break;
           case EventKind::Change:
-            chk.on_change(s, ev.demand);
-            bneck.change(s, ev.demand);
+            chk.on_change(s, ev.demand, ev.weight);
+            bneck.change(s, ev.demand, ev.weight);
             break;
         }
       }

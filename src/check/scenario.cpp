@@ -164,12 +164,20 @@ Scenario generate_scenario(std::uint64_t seed) {
     sc.loss_probability = rng.uniform_real(0.01, 0.12);
   }
 
+  // ---- weighted max-min ----
+  // A third of the scenarios exercise non-uniform weights: joins sample
+  // w from [0.25, 4] and some changes retune the weight mid-run, so the
+  // weighted protocol paths (weight-normalized levels, Probe re-announce)
+  // are fuzzed against the weighted centralized solver.
+  const bool weighted = rng.chance(0.35);
+
   // ---- event timeline (join / leave / change / burstiness) ----
   const std::int32_t host_count = build_network(t).host_count();
   const std::int32_t n_events = static_cast<std::int32_t>(rng.uniform_int(3, 60));
   struct Live {
     std::int32_t id;
     std::int32_t src;
+    double weight;
   };
   std::vector<Live> live;
   std::vector<bool> host_used(static_cast<std::size_t>(host_count), false);
@@ -202,8 +210,11 @@ Scenario generate_scenario(std::uint64_t seed) {
       ev.dst_host = dst;
       ev.demand =
           rng.chance(0.4) ? rng.uniform_real(0.5, demand_hi) : kRateInfinity;
+      if (weighted && rng.chance(0.75)) {
+        ev.weight = rng.uniform_real(0.25, 4.0);
+      }
       sc.events.push_back(ev);
-      live.push_back({ev.session, src});
+      live.push_back({ev.session, src, ev.weight});
     } else if (dice < 0.8) {
       const auto k = static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
@@ -223,6 +234,13 @@ Scenario generate_scenario(std::uint64_t seed) {
       ev.session = live[k].id;
       ev.demand =
           rng.chance(0.3) ? kRateInfinity : rng.uniform_real(0.5, demand_hi);
+      // A change carries the session's weight: usually unchanged, but
+      // weighted scenarios sometimes retune it (the API.Change(s, r, w)
+      // path: the links learn the new weight from the next Probe).
+      if (weighted && rng.chance(0.3)) {
+        live[k].weight = rng.uniform_real(0.25, 4.0);
+      }
+      ev.weight = live[k].weight;
       sc.events.push_back(ev);
     }
   }
@@ -246,7 +264,8 @@ std::size_t normalize(Scenario& sc) {
         if (ev.at < 0 || ev.session < 0 || ev.src_host < 0 ||
             ev.src_host >= host_count || ev.dst_host < 0 ||
             ev.dst_host >= host_count || ev.src_host == ev.dst_host ||
-            !(ev.demand > 0) || ever_joined.contains(ev.session) ||
+            !(ev.demand > 0) || !(ev.weight > 0) ||
+            !std::isfinite(ev.weight) || ever_joined.contains(ev.session) ||
             host_used[static_cast<std::size_t>(ev.src_host)]) {
           continue;
         }
@@ -263,7 +282,8 @@ std::size_t normalize(Scenario& sc) {
         break;
       }
       case EventKind::Change: {
-        if (ev.at < 0 || !(ev.demand > 0) || !live_src.contains(ev.session)) {
+        if (ev.at < 0 || !(ev.demand > 0) || !(ev.weight > 0) ||
+            !std::isfinite(ev.weight) || !live_src.contains(ev.session)) {
           continue;
         }
         break;
@@ -346,12 +366,14 @@ std::string format_spec(const Scenario& sc) {
       case EventKind::Join:
         os << "j@" << ev.at << ":s" << ev.session << ":h" << ev.src_host
            << ">h" << ev.dst_host << ":d" << rate_str(ev.demand);
+        if (ev.weight != 1.0) os << ":w" << rate_str(ev.weight);
         break;
       case EventKind::Leave:
         os << "l@" << ev.at << ":s" << ev.session;
         break;
       case EventKind::Change:
         os << "c@" << ev.at << ":s" << ev.session << ":d" << rate_str(ev.demand);
+        if (ev.weight != 1.0) os << ":w" << rate_str(ev.weight);
         break;
     }
   }
@@ -411,9 +433,18 @@ Scenario parse_spec(const std::string& spec) {
                        "malformed demand field in scenario spec");
           return rate_from(fields[i].substr(1));
         };
+        // Optional trailing weight field (absent in pre-weight specs and
+        // whenever the weight is 1).
+        const auto weight_field = [&fields](std::size_t i) {
+          if (fields.size() <= i) return 1.0;
+          BNECK_EXPECT(fields[i].size() > 1 && fields[i][0] == 'w',
+                       "malformed weight field in scenario spec");
+          return rate_from(fields[i].substr(1));
+        };
         switch (item[0]) {
           case 'j': {
-            BNECK_EXPECT(fields.size() == 4, "join event needs 4 fields");
+            BNECK_EXPECT(fields.size() == 4 || fields.size() == 5,
+                         "join event needs 4 or 5 fields");
             ev.kind = EventKind::Join;
             ev.session = session_field(1);
             const auto hosts = split(fields[2], '>');
@@ -424,6 +455,7 @@ Scenario parse_spec(const std::string& spec) {
             ev.src_host = static_cast<std::int32_t>(int_from(hosts[0].substr(1)));
             ev.dst_host = static_cast<std::int32_t>(int_from(hosts[1].substr(1)));
             ev.demand = demand_field(3);
+            ev.weight = weight_field(4);
             break;
           }
           case 'l':
@@ -432,10 +464,12 @@ Scenario parse_spec(const std::string& spec) {
             ev.session = session_field(1);
             break;
           case 'c':
-            BNECK_EXPECT(fields.size() == 3, "change event needs 3 fields");
+            BNECK_EXPECT(fields.size() == 3 || fields.size() == 4,
+                         "change event needs 3 or 4 fields");
             ev.kind = EventKind::Change;
             ev.session = session_field(1);
             ev.demand = demand_field(2);
+            ev.weight = weight_field(3);
             break;
           default:
             BNECK_EXPECT(false, "unknown event kind in scenario spec");
@@ -495,7 +529,7 @@ std::string cpp_snippet(const Scenario& sc, const std::string& test_name,
     } else {
       os << rate_str(ev.demand);
     }
-    os << "},\n";
+    os << ", " << rate_str(ev.weight) << "},\n";
   }
   os << "  };\n"
      << "  bneck::check::CheckOptions opt;\n";

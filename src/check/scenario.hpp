@@ -7,7 +7,9 @@
 //   * generate_scenario(seed) — the fuzzer: one uint64 seed determines
 //     the topology family (line, star, dumbbell, parking-lot,
 //     multi-bottleneck tree, random graph, cell-backhaul), every
-//     capacity/delay knob, the loss configuration and the whole event
+//     capacity/delay knob, the loss configuration, the session weights
+//     (about a third of the scenarios exercise non-uniform max-min
+//     weights, including mid-run weight changes) and the whole event
 //     timeline, via base/rng.hpp.  Same seed, same scenario, byte for
 //     byte.
 //   * parse_spec(text) — replay of a spec emitted by format_spec, e.g.
@@ -66,6 +68,10 @@ struct ScheduleEvent {
   std::int32_t src_host = -1;   // Join: index into Network::hosts()
   std::int32_t dst_host = -1;   // Join: index into Network::hosts()
   Rate demand = kRateInfinity;  // Join / Change
+  /// Join: the session's max-min weight; Change: the weight after the
+  /// change (the generator carries the current weight forward on changes
+  /// that only touch the demand).  Specs omit the field when it is 1.
+  double weight = 1.0;
 
   friend bool operator==(const ScheduleEvent&, const ScheduleEvent&) = default;
 };
@@ -88,8 +94,8 @@ struct Scenario {
 /// Makes the event list valid: stable-sorts by time, then drops events
 /// that violate the API preconditions (join of an already-used session
 /// id or busy/out-of-range/self-paired host, leave/change of a session
-/// not live, non-positive demand).  Deterministic.  Returns the number
-/// of events dropped.
+/// not live, non-positive demand, non-positive/non-finite weight).
+/// Deterministic.  Returns the number of events dropped.
 std::size_t normalize(Scenario& sc);
 
 /// One-line textual spec round-trippable through parse_spec.

@@ -26,6 +26,7 @@ class Shrinker {
       progress |= shrink_topology();
       progress |= shrink_time();
       progress |= shrink_demands();
+      progress |= shrink_weights();
     }
   }
 
@@ -180,6 +181,27 @@ class Shrinker {
       if (std::isinf(best_.events[i].demand)) continue;
       Scenario cand = best_;
       cand.events[i].demand = kRateInfinity;
+      if (try_accept(std::move(cand))) any = true;
+    }
+    return any;
+  }
+
+  /// Pass 6: replace non-unit weights with 1 — first all at once (a
+  /// failure that survives is not weight-related at all), then one
+  /// event at a time.
+  bool shrink_weights() {
+    bool any = false;
+    {
+      Scenario cand = best_;
+      for (ScheduleEvent& ev : cand.events) ev.weight = 1.0;
+      if (cand.events != best_.events && try_accept(std::move(cand))) {
+        any = true;
+      }
+    }
+    for (std::size_t i = 0; i < best_.events.size() && !exhausted(); ++i) {
+      if (best_.events[i].weight == 1.0) continue;
+      Scenario cand = best_;
+      cand.events[i].weight = 1.0;
       if (try_accept(std::move(cand))) any = true;
     }
     return any;

@@ -13,7 +13,9 @@
 //                        router, WAN delays, loss) one notch at a time;
 //   4. schedule time   — collapse the timeline into one burst, then
 //                        shrink inter-event gaps;
-//   5. demands         — replace finite demands with "unlimited".
+//   5. demands         — replace finite demands with "unlimited";
+//   6. weights         — replace non-unit max-min weights with 1 (all at
+//                        once, then per event).
 //
 // The passes repeat in that order until a whole round makes no progress
 // (or the run budget is exhausted), so later passes do re-enable earlier

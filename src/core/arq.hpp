@@ -1,7 +1,7 @@
 // Reliable in-order link transport (go-back-N ARQ) with loss injection.
 //
 // The B-Neck correctness argument assumes links deliver protocol packets
-// reliably and in FIFO order (DESIGN.md §3).  Real networks drop
+// reliably and in FIFO order (docs/protocol.md).  Real networks drop
 // packets, and a lost Update or Response deadlocks the protocol: nothing
 // retransmits, so the event queue drains with sessions stuck in
 // WAITING_* states.  This module supplies what a deployment would put

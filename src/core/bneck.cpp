@@ -1,6 +1,7 @@
 #include "core/bneck.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bneck::core {
 
@@ -63,9 +64,12 @@ void BneckProtocol::on_rate(SessionId s, Rate r) {
   if (rate_cb_) rate_cb_(s, r, sim_.now());
 }
 
-void BneckProtocol::join(SessionId s, net::Path path, Rate demand) {
+void BneckProtocol::join(SessionId s, net::Path path, Rate demand,
+                         double weight) {
   BNECK_EXPECT(s.valid() && slot_of(s) < 0,
                "session ids are single-use (no re-join)");
+  BNECK_EXPECT(weight > 0 && std::isfinite(weight),
+               "session weight must be positive and finite");
   BNECK_EXPECT(path.links.size() >= 2, "path needs access links at both ends");
   const net::Link& first = net_.link(path.links.front());
   const net::Link& last = net_.link(path.links.back());
@@ -81,19 +85,20 @@ void BneckProtocol::join(SessionId s, net::Path path, Rate demand) {
   SessionRt& rt = sessions_[static_cast<std::size_t>(slot)];
   rt.path = std::move(path);
   rt.demand = demand;
+  rt.weight = weight;
   if (cfg_.shared_access_links) {
     // Extension: the access link is arbitrated by a RouterLink at the
     // host; the source starts the probe with its bare request (η
     // invalid: the initial restriction is the demand, not a link).
     rt.source = std::make_unique<SourceNode>(
         s, LinkId{}, kRateInfinity, /*emit_hop=*/-1, *this,
-        [this](SessionId sid, Rate r) { on_rate(sid, r); });
+        [this](SessionId sid, Rate r) { on_rate(sid, r); }, weight);
   } else {
     // Paper Figure 3: the source manages its dedicated access link and
-    // applies the Ds = min(r, Ce) transform itself.
+    // applies the Ds = min(r, Ce)/w transform itself.
     rt.source = std::make_unique<SourceNode>(
         s, rt.path.links.front(), first.capacity, /*emit_hop=*/0, *this,
-        [this](SessionId sid, Rate r) { on_rate(sid, r); });
+        [this](SessionId sid, Rate r) { on_rate(sid, r); }, weight);
   }
   ++active_count_;
   rt.source->api_join(demand);
@@ -120,6 +125,16 @@ void BneckProtocol::change(SessionId s, Rate demand) {
   rt.source->api_change(demand);
 }
 
+void BneckProtocol::change(SessionId s, Rate demand, double weight) {
+  SessionRt& rt = runtime(s);
+  BNECK_EXPECT(rt.source != nullptr, "change of inactive session");
+  BNECK_EXPECT(weight > 0 && std::isfinite(weight),
+               "session weight must be positive and finite");
+  rt.demand = demand;
+  rt.weight = weight;
+  rt.source->api_change(demand, weight);
+}
+
 bool BneckProtocol::is_active(SessionId s) const {
   const std::int32_t slot = slot_of(s);
   return slot >= 0 &&
@@ -137,7 +152,7 @@ std::vector<SessionSpec> BneckProtocol::active_specs() const {
   specs.reserve(active_count_);
   for (const SessionRt& rt : sessions_) {
     if (rt.source == nullptr) continue;
-    specs.push_back(SessionSpec{rt.id, rt.path, rt.demand});
+    specs.push_back(SessionSpec{rt.id, rt.path, rt.demand, rt.weight});
   }
   std::sort(specs.begin(), specs.end(),
             [](const SessionSpec& a, const SessionSpec& b) { return a.id < b.id; });

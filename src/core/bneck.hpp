@@ -12,10 +12,22 @@
 //   core::BneckProtocol bneck(sim, network);
 //   bneck.set_rate_callback([](SessionId s, Rate r, TimeNs t) { ... });
 //   bneck.join(SessionId{0}, path, /*demand=*/kRateInfinity);
+//   bneck.join(SessionId{1}, path2, kRateInfinity, /*weight=*/3.0);
 //   TimeNs quiescent_at = sim.run_until_idle();   // B-Neck is quiescent!
 //
 // After run_until_idle() returns, every active session has been notified
 // of its max-min fair rate and zero protocol packets remain (Theorem 1).
+//
+// Weighted max-min (extension beyond the paper, Hou et al. direction):
+// sessions carry a weight w > 0, and the protocol converges to the
+// *weighted* max-min allocation — the unique vector where session s gets
+// w_s times the level of an equal competitor at every common bottleneck,
+// exactly what the centralized solvers in core/maxmin.hpp compute.
+// Internally every task operates on weight-normalized levels λ/w
+// (link_table.hpp documents the algebra); API.Rate always reports actual
+// rates.  With all weights 1 (the default) the protocol's arithmetic,
+// packet schedule and traces are bit-identical to the unweighted paper
+// protocol.
 #pragma once
 
 #include <array>
@@ -99,14 +111,19 @@ class BneckProtocol final
   BneckProtocol(sim::Simulator& simulator, const net::Network& network,
                 BneckConfig config = {}, TraceSink* trace = nullptr);
 
-  // ---- API primitives (paper §II) ----
+  // ---- API primitives (paper §II; weight is the weighted extension) ----
 
-  /// API.Join(s, r): s must be new; the path must start at a host uplink.
-  void join(SessionId s, net::Path path, Rate demand = kRateInfinity);
+  /// API.Join(s, r [, w]): s must be new; the path must start at a host
+  /// uplink; the weight must be positive and finite.
+  void join(SessionId s, net::Path path, Rate demand = kRateInfinity,
+            double weight = 1.0);
   /// API.Leave(s): s must be active.
   void leave(SessionId s);
-  /// API.Change(s, r): s must be active.
+  /// API.Change(s, r): s must be active.  The 3-argument form also
+  /// retunes the session's weight; the links pick it up with the re-probe
+  /// the change triggers.
   void change(SessionId s, Rate demand);
+  void change(SessionId s, Rate demand, double weight);
 
   /// API.Rate(s, λ) is delivered through this callback.
   using RateCallback = std::function<void(SessionId, Rate, TimeNs)>;
@@ -122,7 +139,8 @@ class BneckProtocol final
   [[nodiscard]] std::optional<Rate> notified_rate(SessionId s) const;
 
   /// Active sessions as solver input (for validation against the
-  /// centralized solvers), in ascending session id order.
+  /// centralized solvers), in ascending session id order; demands and
+  /// weights reflect the latest join/change values.
   [[nodiscard]] std::vector<SessionSpec> active_specs() const;
 
   /// The RouterLink task of a directed link; nullptr if the link never
@@ -169,6 +187,7 @@ class BneckProtocol final
     SessionId id;
     net::Path path;
     Rate demand = kRateInfinity;         // requested maximum rate r_s
+    double weight = 1.0;                 // max-min weight w_s
     std::unique_ptr<SourceNode> source;  // null once the session left
     std::optional<Rate> notified;
     std::uint64_t probe_cycles = 0;      // Join + re-probes emitted

@@ -23,11 +23,31 @@ LinkSessionTable::LinkSessionTable(Rate capacity) : capacity_(capacity) {
   BNECK_EXPECT(capacity > 0, "link capacity must be positive");
 }
 
-void LinkSessionTable::insert_R(SessionId s, std::int32_t hop) {
+void LinkSessionTable::insert_R(SessionId s, std::int32_t hop, double weight) {
+  BNECK_EXPECT(weight > 0 && std::isfinite(weight),
+               "session weight must be positive and finite");
   const bool inserted =
-      recs_.try_emplace(s, Rec{Mu::WaitingResponse, 0, true, hop}).second;
+      recs_.try_emplace(s, Rec{Mu::WaitingResponse, 0, weight, true, hop})
+          .second;
   BNECK_EXPECT(inserted, "duplicate Join at link");
   ++r_count_;
+  r_weight_ += weight;
+}
+
+void LinkSessionTable::set_weight(SessionId s, double weight) {
+  Rec& r = rec(s);
+  if (r.weight == weight) return;
+  BNECK_EXPECT(weight > 0 && std::isfinite(weight),
+               "session weight must be positive and finite");
+  if (r.in_r) {
+    r_weight_ -= r.weight;
+    r_weight_ += weight;
+  } else {
+    f_sum_ -= r.weight * r.lambda;
+    f_sum_ += weight * r.lambda;
+    ++f_mutations_;
+  }
+  r.weight = weight;
 }
 
 void LinkSessionTable::erase(SessionId s) {
@@ -37,20 +57,25 @@ void LinkSessionTable::erase(SessionId s) {
   if (r.in_r) {
     if (r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
     --r_count_;
+    r_weight_ -= r.weight;
+    if (r_count_ == 0) r_weight_ = 0;
   } else {
     f_.erase(r.lambda, s);
-    f_sum_ -= r.lambda;
+    f_sum_ -= r.weight * r.lambda;
     ++f_mutations_;
   }
   recs_.erase(s);
   // Long runs of joins/leaves accumulate floating drift in the running
-  // Fe sum; rebuild it exactly every so often.
+  // Fe sum; rebuild it exactly every so often.  (The λ keys in f_ are
+  // levels, so the exact sum needs each member's weight back.)
   if (f_.empty()) {
     f_sum_ = 0;
   } else if (f_mutations_ >= 65536) {
     f_mutations_ = 0;
     long double sum = 0;
-    f_.for_each([&sum](Rate lambda, SessionId) { sum += lambda; });
+    f_.for_each([this, &sum](Rate lambda, SessionId member) {
+      sum += rec(member).weight * lambda;
+    });
     f_sum_ = sum;
   }
 }
@@ -59,11 +84,12 @@ void LinkSessionTable::move_to_R(SessionId s) {
   Rec& r = rec(s);
   BNECK_EXPECT(!r.in_r, "move_to_R: already in Re");
   f_.erase(r.lambda, s);
-  f_sum_ -= r.lambda;
+  f_sum_ -= r.weight * r.lambda;
   ++f_mutations_;
   if (f_.empty()) f_sum_ = 0;
   r.in_r = true;
   ++r_count_;
+  r_weight_ += r.weight;
   if (r.mu == Mu::Idle) idle_r_.insert(r.lambda, s);
 }
 
@@ -73,8 +99,10 @@ void LinkSessionTable::move_to_F(SessionId s) {
   if (r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
   r.in_r = false;
   --r_count_;
+  r_weight_ -= r.weight;
+  if (r_count_ == 0) r_weight_ = 0;
   f_.insert(r.lambda, s);
-  f_sum_ += r.lambda;
+  f_sum_ += r.weight * r.lambda;
   ++f_mutations_;
 }
 
@@ -92,7 +120,7 @@ void LinkSessionTable::set_idle_with_lambda(SessionId s, Rate lambda) {
   const bool was_f = !r.in_r;
   if (was_f) {
     f_.erase(r.lambda, s);
-    f_sum_ -= r.lambda;
+    f_sum_ -= r.weight * r.lambda;
     ++f_mutations_;
   }
   r.lambda = lambda;
@@ -101,7 +129,7 @@ void LinkSessionTable::set_idle_with_lambda(SessionId s, Rate lambda) {
     idle_r_.insert(lambda, s);
   } else {
     f_.insert(lambda, s);
-    f_sum_ += lambda;
+    f_sum_ += r.weight * lambda;
   }
 }
 
@@ -166,6 +194,7 @@ std::string LinkSessionTable::audit() const {
 
   // Naive reconstruction of every aggregate and index from recs_ alone.
   std::size_t naive_r = 0;
+  long double naive_r_weight = 0;
   long double naive_f_sum = 0;
   std::vector<std::pair<Rate, SessionId>> naive_idle_r;
   std::vector<std::pair<Rate, SessionId>> naive_f;
@@ -174,19 +203,30 @@ std::string LinkSessionTable::audit() const {
   recs_.for_each([&](SessionId s, const Rec& r) {
     if (r.in_r) {
       ++naive_r;
+      naive_r_weight += r.weight;
       if (r.mu == Mu::Idle) naive_idle_r.emplace_back(r.lambda, s);
     } else {
-      naive_f_sum += r.lambda;
+      naive_f_sum += r.weight * r.lambda;
       naive_f.emplace_back(r.lambda, s);
     }
     if (std::isnan(r.lambda) || r.lambda < 0) {
       bad_rec = true;
       bad_rec_what << "session " << s << " has invalid lambda " << r.lambda;
     }
+    if (!(r.weight > 0) || !std::isfinite(r.weight)) {
+      bad_rec = true;
+      bad_rec_what << "session " << s << " has invalid weight " << r.weight;
+    }
   });
   if (bad_rec) return fail("record: ", bad_rec_what.str());
   if (naive_r != r_count_) {
     return fail("|Re| aggregate ", r_count_, " != naive count ", naive_r);
+  }
+  const auto naive_rw = static_cast<Rate>(naive_r_weight);
+  const Rate w_tol = 1e-9 * std::max(1.0, std::fabs(naive_rw));
+  if (std::fabs(static_cast<Rate>(r_weight_) - naive_rw) > w_tol) {
+    return fail("sum_R weight aggregate ", static_cast<Rate>(r_weight_),
+                " != naive sum ", naive_rw);
   }
   const auto naive_sum = static_cast<Rate>(naive_f_sum);
   const Rate tol =
@@ -230,8 +270,7 @@ std::string LinkSessionTable::audit() const {
 
   // be() must match the naive formula on the audited aggregates.
   const Rate naive_be =
-      naive_r == 0 ? kRateInfinity
-                   : (capacity_ - naive_sum) / static_cast<Rate>(naive_r);
+      naive_r == 0 ? kRateInfinity : (capacity_ - naive_sum) / naive_rw;
   if (std::isinf(naive_be) != std::isinf(be()) ||
       (!std::isinf(naive_be) &&
        std::fabs(be() - naive_be) >

@@ -3,19 +3,37 @@
 // Holds, for every session crossing the link, the paper's per-session
 // state: the partition flag (restricted here, Re, vs restricted
 // elsewhere, Fe), the state machine value
-// µ ∈ {IDLE, WAITING_PROBE, WAITING_RESPONSE} and the recorded rate λes.
+// µ ∈ {IDLE, WAITING_PROBE, WAITING_RESPONSE}, the session's max-min
+// weight w_s (weighted extension) and the recorded *level* λes — the
+// weight-normalized rate.  A session's actual rate is w_s · λes
+// (rate_of()); with unit weights level and rate coincide and every
+// formula below reduces to the paper's unweighted pseudocode, bit for
+// bit.
 //
 // The pseudocode's predicates are set-level quantifications; this table
 // maintains two ordered indexes — (λ, s) over *idle Re* sessions and over
-// *Fe* sessions (core/rate_index.hpp) — plus running aggregates
-// (Σ_{Fe} λ, |Re|), so each predicate is answered in O(log n):
-//   Be              = (Ce − Σ_{Fe} λ) / |Re|        (+inf when Re = ∅)
-//   all_R_idle_at_be: ∀r∈Re, λ = Be ∧ µ = IDLE      (bottleneck detection)
-//   exists F λ ≥ Be, max/argmax over Fe             (ProcessNewRestricted)
-//   {r∈Re : IDLE ∧ λ > x} / {r∈Re : IDLE ∧ λ ≈ x}   (Update triggers)
+// *Fe* sessions (core/rate_index.hpp, keyed by level) — plus running
+// aggregates (Σ_{Fe} w·λ, |Re|, Σ_{Re} w), so each predicate is answered
+// in O(log n):
+//   Be               = (Ce − Σ_{Fe} w·λ) / Σ_{Re} w  (+inf when Re = ∅;
+//                      the common *level* of the Re sessions — session s
+//                      of Re receives rate w_s · Be)
+//   all_R_idle_at_be: ∀r∈Re, λ = Be ∧ µ = IDLE       (bottleneck detection)
+//   exists F λ ≥ Be, max/argmax over Fe              (ProcessNewRestricted)
+//   {r∈Re : IDLE ∧ λ > x} / {r∈Re : IDLE ∧ λ ≈ x}    (Update triggers)
 //
 // λes is only meaningful while s ∈ Fe, or s ∈ Re with µ = IDLE — exactly
 // the states in which the indexes track it.
+//
+// Units and invariants (contract):
+//   * capacity() is in Mbps (like net::Link::capacity); λ keys and be()
+//     are levels in Mbps-per-unit-weight; weights are dimensionless > 0.
+//   * The aggregates and both indexes are kept exactly consistent with
+//     the record map by every mutation (audit() cross-checks this
+//     against a naive reconstruction).
+//   * Iteration order of the set-valued queries is (level ascending,
+//     session id ascending) — the simulation's determinism contract
+//     depends on it.
 #pragma once
 
 #include <cstdint>
@@ -50,7 +68,15 @@ class LinkSessionTable {
   [[nodiscard]] bool contains(SessionId s) const { return recs_.contains(s); }
   [[nodiscard]] bool in_R(SessionId s) const { return rec(s).in_r; }
   [[nodiscard]] Mu mu(SessionId s) const { return rec(s).mu; }
+  /// Recorded level λes (weight-normalized rate) of s at this link.
   [[nodiscard]] Rate lambda(SessionId s) const { return rec(s).lambda; }
+  /// Max-min weight of s as last announced by its Join/Probe packets.
+  [[nodiscard]] double weight(SessionId s) const { return rec(s).weight; }
+  /// Actual recorded rate of s: w_s · λes.
+  [[nodiscard]] Rate rate_of(SessionId s) const {
+    const Rec& r = rec(s);
+    return r.weight * r.lambda;
+  }
   /// Hop index of this link in the session's path (recorded on insert so
   /// the link can originate upstream packets for the session).
   [[nodiscard]] std::int32_t hop(SessionId s) const { return rec(s).hop; }
@@ -59,18 +85,24 @@ class LinkSessionTable {
   [[nodiscard]] std::size_t r_size() const { return r_count_; }
   [[nodiscard]] std::size_t f_size() const { return f_.size(); }
 
-  /// Bottleneck rate estimate Be = (Ce − Σ_{Fe} λ)/|Re|; +inf when Re=∅.
-  /// May transiently be negative inside ProcessNewRestricted loops.
+  /// Bottleneck *level* estimate Be = (Ce − Σ_{Fe} w·λ)/Σ_{Re} w; +inf
+  /// when Re=∅.  Session s of Re saturates the link at rate w_s·Be.  May
+  /// transiently be negative inside ProcessNewRestricted loops.
   [[nodiscard]] Rate be() const {
     if (r_count_ == 0) return kRateInfinity;
     return (capacity_ - static_cast<Rate>(f_sum_)) /
-           static_cast<Rate>(r_count_);
+           static_cast<Rate>(r_weight_);
   }
 
-  // ---- mutations (all keep the indexes consistent) ----
+  // ---- mutations (all keep the indexes and aggregates consistent) ----
 
-  /// Join: Re ← Re ∪ {s} with µ = WAITING_RESPONSE.
-  void insert_R(SessionId s, std::int32_t hop);
+  /// Join: Re ← Re ∪ {s} with µ = WAITING_RESPONSE and weight w.
+  void insert_R(SessionId s, std::int32_t hop, double weight = 1.0);
+
+  /// Re-announced weight from a Probe (API.Change may retune it).  No-op
+  /// when unchanged; otherwise adjusts the aggregates (the λ key — a
+  /// level — is untouched: the in-flight probe cycle re-establishes it).
+  void set_weight(SessionId s, double weight);
 
   /// Leave: removes s from whichever set holds it.
   void erase(SessionId s);
@@ -83,7 +115,7 @@ class LinkSessionTable {
 
   void set_mu(SessionId s, Mu m);
 
-  /// Response accepted: λes ← λ and µ ← IDLE in one step.
+  /// Response accepted: λes ← λ (a level) and µ ← IDLE in one step.
   void set_idle_with_lambda(SessionId s, Rate lambda);
 
   // ---- protocol predicates ----
@@ -143,14 +175,15 @@ class LinkSessionTable {
   [[nodiscard]] bool stable() const;
 
   /// Full internal-consistency audit against a naive reconstruction from
-  /// the record map: |Re| and Σ_{Fe} λ aggregates, membership and λ keys
-  /// of both ordered indexes (idle-Re and Fe), index ordering, and be().
+  /// the record map: the |Re|, Σ_{Re} w and Σ_{Fe} w·λ aggregates, weight
+  /// validity, membership and λ keys of both ordered indexes (idle-Re and
+  /// Fe), index ordering, and be().
   /// Returns an empty string when consistent, else a description of the
   /// first violation.  O(n log n); intended for the property harness
   /// (src/check/), not for per-packet paths.
   [[nodiscard]] std::string audit() const;
 
-  /// Iterates (session, in_r, mu, lambda) for diagnostics/tests.
+  /// Iterates (session, in_r, mu, lambda-level) for diagnostics/tests.
   template <class Fn>
   void for_each(Fn&& fn) const {
     recs_.for_each(
@@ -160,7 +193,8 @@ class LinkSessionTable {
  private:
   struct Rec {
     Mu mu = Mu::WaitingResponse;
-    Rate lambda = 0;
+    Rate lambda = 0;       // level (rate / weight)
+    double weight = 1.0;   // max-min weight, > 0
     bool in_r = true;
     std::int32_t hop = 0;
   };
@@ -182,10 +216,14 @@ class LinkSessionTable {
   // One lookup per packet per hop: the open-addressing map is the hot
   // container of the whole simulation (see base/flat_hash.hpp).
   FlatIdMap<SessionTag, Rec> recs_;
-  Index idle_r_;  // (λ, s) for s ∈ Re with µ = IDLE
-  Index f_;       // (λ, s) for s ∈ Fe
+  Index idle_r_;  // (λ, s) for s ∈ Re with µ = IDLE (λ is a level)
+  Index f_;       // (λ, s) for s ∈ Fe (λ is a level)
   std::size_t r_count_ = 0;
-  long double f_sum_ = 0;  // Σ_{Fe} λ; recomputed periodically to kill drift
+  // Σ_{Re} w.  With unit weights every add/subtract of 1.0 is exact, so
+  // this equals r_count_ bit for bit and be() reproduces the unweighted
+  // protocol's arithmetic unchanged.
+  long double r_weight_ = 0;
+  long double f_sum_ = 0;  // Σ_{Fe} w·λ; recomputed periodically to kill drift
   std::uint64_t f_mutations_ = 0;
 };
 

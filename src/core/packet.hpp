@@ -1,20 +1,25 @@
 // B-Neck protocol packets (paper §III-B).
 //
-//   Join(s, λ, η)           downstream   session arrival + first probe
-//   Probe(s, λ, η)          downstream   rate recomputation cycle
+//   Join(s, λ, η, w)        downstream   session arrival + first probe
+//   Probe(s, λ, η, w)       downstream   rate recomputation cycle
 //   Response(s, τ, λ, η)    upstream     closes a probe cycle
 //   Update(s)               upstream     a new probe cycle is required
 //   Bottleneck(s)           upstream     current rate is the max-min rate
 //   SetBottleneck(s, β)     downstream   freeze the rate along the path
 //   Leave(s)                downstream   session departure
 //
-// λ is the estimated bottleneck rate, η the link imposing the strongest
-// restriction so far, τ the action the source must take next, and β
-// whether some link on the path confirmed itself as the bottleneck.
+// λ is the estimated bottleneck *level* — the weight-normalized rate
+// λ_s/w_s; a session's actual rate is always w_s times the λ carried on
+// its packets, and with unit weights (the paper's protocol) level and
+// rate coincide.  η is the link imposing the strongest restriction so
+// far, τ the action the source must take next, β whether some link on
+// the path confirmed itself as the bottleneck, and w the session's
+// max-min weight (weighted extension; Join teaches it to every link on
+// the path, Probe re-announces it so API.Change can retune it).
 //
 // Packets additionally carry `hop`, the index into the session's path of
 // the link whose task processes the packet next (0 = source node,
-// path-length = destination node); see DESIGN.md §3 "Packet routing".
+// path-length = destination node); see docs/protocol.md.
 #pragma once
 
 #include <cstdint>
@@ -39,12 +44,13 @@ constexpr int kPacketTypeCount = 7;
 /// τ of a Response packet.
 enum class ResponseTag : std::uint8_t { Response, Update, Bottleneck };
 
-// Field order packs the struct into 24 bytes (8-byte rate first, then
-// the 32-bit ids, then the flag bytes) so a packet fits a typed
-// simulator event's inline buffer (sim/event.hpp) alongside the ARQ
-// framing — every wire crossing is one allocation-free event.
+// Field order packs the struct into 32 bytes (the two 8-byte doubles
+// first, then the 32-bit ids, then the flag bytes) so a packet fits a
+// typed simulator event's inline buffer (sim/event.hpp) alongside the
+// ARQ framing — every wire crossing is one allocation-free event.
 struct Packet {
-  Rate lambda = 0;                          // Join / Probe / Response
+  Rate lambda = 0;                          // Join / Probe / Response (level)
+  double weight = 1.0;                      // Join / Probe
   SessionId session;
   LinkId eta;                               // Join / Probe / Response
   std::int32_t hop = 0;                     // next processing hop
@@ -52,7 +58,7 @@ struct Packet {
   ResponseTag tag = ResponseTag::Response;  // Response only
   bool beta = false;                        // SetBottleneck only
 };
-static_assert(sizeof(Packet) == 24, "keep Packet one inline event payload");
+static_assert(sizeof(Packet) == 32, "keep Packet one inline event payload");
 
 /// True for packet types that travel from source towards destination.
 constexpr bool is_downstream(PacketType t) {

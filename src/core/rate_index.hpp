@@ -10,10 +10,17 @@
 // memmove within one contiguous bucket, and iteration is linear scans —
 // no pointer chasing, no node allocation.
 //
-// Iteration visits (rate ascending, session id ascending within a rate):
-// exactly the order std::multiset<pair> gave, which the protocol's
-// packet-emission order — and therefore the simulation's determinism
-// contract — depends on.
+// Contract:
+//   * Keys are raw doubles compared exactly — callers own any tolerance
+//     (LinkSessionTable windows rate_eq candidates around a key).  Under
+//     the weighted protocol the keys are weight-normalized levels λ/w;
+//     the clustering observation holds unchanged because Re sessions
+//     share a *level* at a bottleneck.
+//   * erase() requires the exact (key, session) pair inserted.
+//   * Iteration visits (key ascending, session id ascending within a
+//     key): exactly the order std::multiset<pair> gave, which the
+//     protocol's packet-emission order — and therefore the simulation's
+//     determinism contract — depends on.
 #pragma once
 
 #include <algorithm>

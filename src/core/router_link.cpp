@@ -31,7 +31,7 @@ void RouterLink::process_new_restricted() {
 }
 
 void RouterLink::on_join(const Packet& p, std::int32_t hop) {
-  table_.insert_R(p.session, hop);
+  table_.insert_R(p.session, hop, p.weight);
   process_new_restricted();
   Packet q = p;
   const Rate be = table_.be();
@@ -44,10 +44,23 @@ void RouterLink::on_join(const Packet& p, std::int32_t hop) {
 
 void RouterLink::on_probe(const Packet& p, std::int32_t hop) {
   // A Probe can only follow the session's Join on the same FIFO path, so
-  // the session is known here.
+  // the session is known here.  The probe re-announces the weight;
+  // API.Change may have retuned it, which moves this link's Be — a case
+  // the paper's pseudocode (fixed weights) never faces.  Handle it like
+  // the other Be shifts: sessions idle at the pre-change Be may deserve
+  // more if Be rises (cf. Leave), and ProcessNewRestricted below
+  // re-probes whoever sits above the post-change Be if it falls.
+  const bool reweighted = table_.weight(p.session) != p.weight;
+  if (reweighted) {
+    table_.idle_R_at(table_.be(), p.session, scratch_);
+    table_.set_weight(p.session, p.weight);
+    kick_batch(scratch_);
+  }
   table_.set_mu(p.session, Mu::WaitingResponse);
   if (!table_.in_R(p.session)) {
     table_.move_to_R(p.session);
+    process_new_restricted();
+  } else if (reweighted) {
     process_new_restricted();
   }
   Packet q = p;

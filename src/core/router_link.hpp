@@ -1,10 +1,16 @@
-// RouterLink task (paper Figure 2).
+// RouterLink task (paper Figure 2, generalized to per-session weights).
 //
 // One instance runs per directed link that carries at least one session,
 // at the link's tail router.  It reacts to the seven protocol packets,
 // maintains the per-link session table, detects the bottleneck condition
-// (all Re sessions idle at rate Be) and originates Update/Bottleneck
+// (all Re sessions idle at level Be) and originates Update/Bottleneck
 // packets when convergence conditions change.
+//
+// All rate arithmetic happens in weight-normalized *level* space (λ/w;
+// see link_table.hpp): the handlers below are literally the paper's
+// pseudocode with "rate" read as "level", and with unit weights the two
+// coincide.  The only weight-aware steps are learning w from Join,
+// refreshing it from Probe, and the table's Be denominator.
 //
 // The task is transport-agnostic: it emits packets through the Transport
 // interface, which the protocol binding (bneck.hpp) implements on top of

@@ -1,6 +1,7 @@
 #include "core/source_node.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bneck::core {
 
@@ -10,14 +11,17 @@ void SourceNode::send_probe() {
   p.type = PacketType::Probe;
   p.session = s_;
   p.lambda = ds_;
+  p.weight = weight_;
   p.eta = e0_;
   transport_.send_downstream(p, emit_hop_);
 }
 
 void SourceNode::api_join(Rate requested) {
   BNECK_EXPECT(requested > 0, "requested rate must be positive");
+  BNECK_EXPECT(weight_ > 0 && std::isfinite(weight_),
+               "session weight must be positive and finite");
   in_f_ = false;  // Re ← {s}
-  ds_ = std::min(requested, ce_);
+  ds_ = std::min(requested, ce_) / weight_;
   mu_ = Mu::WaitingResponse;
   upd_rcv_ = false;
   bneck_rcv_ = false;
@@ -25,6 +29,7 @@ void SourceNode::api_join(Rate requested) {
   p.type = PacketType::Join;
   p.session = s_;
   p.lambda = ds_;
+  p.weight = weight_;
   p.eta = e0_;
   transport_.send_downstream(p, emit_hop_);
 }
@@ -39,7 +44,19 @@ void SourceNode::api_leave() {
 
 void SourceNode::api_change(Rate requested) {
   BNECK_EXPECT(requested > 0, "requested rate must be positive");
-  ds_ = std::min(requested, ce_);
+  start_change(requested);
+}
+
+void SourceNode::api_change(Rate requested, double weight) {
+  BNECK_EXPECT(requested > 0, "requested rate must be positive");
+  BNECK_EXPECT(weight > 0 && std::isfinite(weight),
+               "session weight must be positive and finite");
+  weight_ = weight;
+  start_change(requested);
+}
+
+void SourceNode::start_change(Rate requested) {
+  ds_ = std::min(requested, ce_) / weight_;
   if (mu_ == Mu::Idle) {
     in_f_ = false;  // back to Re = {s}
     upd_rcv_ = false;
@@ -62,7 +79,7 @@ void SourceNode::on_update(const Packet&) {
 
 void SourceNode::notify_and_certify() {
   bneck_rcv_ = true;
-  rate_cb_(s_, lambda_);
+  rate_cb_(s_, weight_ * lambda_);  // API.Rate carries the actual rate w·λ
   const bool restricted_here = !rate_gt(ds_, lambda_);  // Ds = λs
   if (!restricted_here) in_f_ = true;  // Fe ← {s}
   Packet p;

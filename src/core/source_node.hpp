@@ -1,12 +1,14 @@
-// SourceNode task (paper Figure 3).
+// SourceNode task (paper Figure 3, generalized to per-session weights).
 //
 // One instance per active session, running at the session's source host.
 // The source manages the session's first link e0 (its dedicated access
-// link): it computes Ds = min(r, C_{e0}) — the paper's modified-system
-// transformation of the requested maximum rate — starts Join/Probe
-// cycles, deduplicates re-probe triggers (upd_rcv), recognizes
-// stabilization (bneck_rcv), invokes API.Rate and launches SetBottleneck
-// certification passes.
+// link): it computes Ds = min(r, C_{e0})/w — the paper's modified-system
+// transformation of the requested maximum rate, expressed as a *level*
+// (rate per unit weight; see link_table.hpp) — starts Join/Probe cycles,
+// deduplicates re-probe triggers (upd_rcv), recognizes stabilization
+// (bneck_rcv), invokes API.Rate with the actual rate w·λ and launches
+// SetBottleneck certification passes.  With w = 1 the level arithmetic
+// is bit-identical to the paper's unweighted rates.
 #pragma once
 
 #include <functional>
@@ -30,13 +32,16 @@ class SourceNode {
   /// initial restriction is the session's own request, not a link),
   /// capacity is infinite and `emit_hop` is -1 (the access link runs a
   /// RouterLink task; handoff to it is host-internal).
+  /// `weight` is the session's max-min weight (> 0, finite); it rides on
+  /// every Join/Probe the source emits.
   SourceNode(SessionId s, LinkId eta0, Rate first_link_capacity,
              std::int32_t emit_hop, Transport& transport,
-             RateCallback rate_cb)
+             RateCallback rate_cb, double weight = 1.0)
       : s_(s),
         e0_(eta0),
         ce_(first_link_capacity),
         emit_hop_(emit_hop),
+        weight_(weight),
         transport_(transport),
         rate_cb_(std::move(rate_cb)) {}
 
@@ -46,7 +51,10 @@ class SourceNode {
   // -- API primitives --
   void api_join(Rate requested);
   void api_leave();
+  /// API.Change: new maximum-rate request; optionally also retunes the
+  /// session's weight (announced to the links by the next Probe).
   void api_change(Rate requested);
+  void api_change(Rate requested, double weight);
 
   // -- packet handlers (hop 0) --
   void on_update(const Packet& p);
@@ -54,9 +62,12 @@ class SourceNode {
   void on_response(const Packet& p);
 
   [[nodiscard]] SessionId session() const { return s_; }
+  /// The modified-system restriction Ds — a level: min(requested, Ce)/w.
   [[nodiscard]] Rate ds() const { return ds_; }
   [[nodiscard]] Mu mu() const { return mu_; }
+  /// Last accepted level λ^{e0}_s; the session's rate is weight()·lambda().
   [[nodiscard]] Rate lambda() const { return lambda_; }
+  [[nodiscard]] double weight() const { return weight_; }
   [[nodiscard]] bool bottleneck_received() const { return bneck_rcv_; }
   /// Source-side stability: no probe cycle running or pending.
   [[nodiscard]] bool stable() const { return mu_ == Mu::Idle && !upd_rcv_; }
@@ -64,15 +75,17 @@ class SourceNode {
  private:
   void send_probe();
   void notify_and_certify();
+  void start_change(Rate requested);
 
   SessionId s_;
   LinkId e0_;
   Rate ce_;
   std::int32_t emit_hop_ = 0;
+  double weight_ = 1.0;         // max-min weight w_s
 
-  Rate ds_ = 0;                 // min(requested, C_{e0})
+  Rate ds_ = 0;                 // min(requested, C_{e0}) / w  (a level)
   Mu mu_ = Mu::Idle;            // state of s at its first link
-  Rate lambda_ = 0;             // λ^{e0}_s, last accepted rate
+  Rate lambda_ = 0;             // λ^{e0}_s, last accepted level
   bool in_f_ = false;           // Fe = {s}?  (else Re = {s} while active)
   bool upd_rcv_ = false;        // re-probe required after current cycle
   bool bneck_rcv_ = false;      // rate already confirmed and certified

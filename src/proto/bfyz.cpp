@@ -30,17 +30,19 @@ Rate Bfyz::advertised(LinkId e) const {
   return slot.has_value() ? slot->advertised : network().link(e).capacity;
 }
 
-void Bfyz::on_forward(LinkId link, Session&, Cell& cell) {
+void Bfyz::on_forward(LinkId link, Session& session, Cell& cell) {
   LinkState& st = state(link);
-  st.recorded.try_emplace(cell.s);  // unknown sessions count as unmarked
-  cell.field = std::min(cell.field, st.advertised);
+  // Unknown sessions count as unmarked; the offer is weight x the
+  // per-unit-weight advertised share.
+  st.recorded.try_emplace(cell.s, Recorded{std::nullopt, session.weight});
+  cell.field = std::min(cell.field, session.weight * st.advertised);
 }
 
-void Bfyz::on_backward(LinkId link, Session&, Cell& cell) {
+void Bfyz::on_backward(LinkId link, Session& session, Cell& cell) {
   LinkState& st = state(link);
   const auto it = st.recorded.find(cell.s);
   if (it == st.recorded.end()) return;  // left in the meantime
-  it->second = cell.field;
+  it->second = Recorded{cell.field, session.weight};
   st.dirty = true;
 }
 
@@ -52,32 +54,52 @@ void Bfyz::on_leave_link(LinkId link, SessionId s) {
 }
 
 void Bfyz::recompute(LinkState& st) const {
-  // Consistent marking over the recorded rates.  Sessions whose rate is
-  // still unknown are treated as unrestricted (rate +inf): they stay
-  // unmarked and share the residual equally.
+  // Weighted consistent marking over the recorded rates, in level space
+  // (level = rate / weight).  Sessions whose rate is still unknown are
+  // treated as unrestricted (level +inf): they stay unmarked and share
+  // the residual by weight.  Unit weights reduce every line to the
+  // classic per-flow scan.
   const std::size_t n = st.recorded.size();
   if (n == 0) {
     st.advertised = st.capacity;
     return;
   }
-  std::vector<double> rates;
-  rates.reserve(n);
+  struct Entry {
+    double level;   // rate / weight (+inf when unmarked)
+    double rate;
+    double weight;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  double weight_total = 0;
   for (const auto& [s, r] : st.recorded) {
-    rates.push_back(r.value_or(kRateInfinity));
+    const double rate = r.rate.value_or(kRateInfinity);
+    entries.push_back(Entry{rate / r.weight, rate, r.weight});
+    weight_total += r.weight;
   }
-  std::sort(rates.begin(), rates.end());
+  // Full-tuple sort: entries with equal levels but different (rate,
+  // weight) must still be scanned in a deterministic order regardless of
+  // the unordered_map's iteration order.
+  std::sort(entries.begin(), entries.end(), [](const Entry& x, const Entry& y) {
+    if (x.level != y.level) return x.level < y.level;
+    if (x.rate != y.rate) return x.rate < y.rate;
+    return x.weight < y.weight;
+  });
   // Scan k = number of marked (restricted-elsewhere) sessions, smallest
-  // first: A_k = (C - prefix_k)/(n - k); grow k while the next rate is
-  // still below its offer.
+  // level first: A_k = (C - prefix_k) / w_suffix_k; grow k while the next
+  // session's level is still below its offer.
   double prefix = 0;
-  double a = st.capacity / static_cast<double>(n);
+  double wsuffix = weight_total;
+  double a = st.capacity / weight_total;
   for (std::size_t k = 0; k < n; ++k) {
-    a = (st.capacity - prefix) / static_cast<double>(n - k);
-    if (!rate_lt(rates[k], a)) break;  // rates[k] gets the full offer
-    prefix += rates[k];
+    a = (st.capacity - prefix) / wsuffix;
+    if (!rate_lt(entries[k].level, a)) break;  // entry k gets the full offer
+    prefix += entries[k].rate;
+    wsuffix -= entries[k].weight;
     if (k + 1 == n) {
-      // Everyone marked: offer the residual to whoever asks next.
-      a = st.capacity - prefix + rates[n - 1];
+      // Everyone marked: offer the residual on top of the largest
+      // recorded level to whoever asks next.
+      a = (st.capacity - prefix + entries[n - 1].rate) / entries[n - 1].weight;
     }
   }
   st.advertised = std::max(a, 0.0);

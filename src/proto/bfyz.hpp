@@ -11,13 +11,15 @@
 // periodic control traffic (non-quiescence), transient overshoot of the
 // max-min rates (links start by advertising their full capacity), and
 // eventual convergence to the exact max-min allocation.
-// See DESIGN.md §5 "Substitutions".
+// See docs/protocol.md "Deliberate divergences from the paper".
 //
 // Operation: each link records the last rate granted to every session
-// crossing it and periodically recomputes its advertised rate by
-// consistent marking — the largest A with A = (C - Σ_{r<A} r)/|{r >= A}|.
-// RM cells collect min(advertised) over the path; the source adopts the
-// echoed value; links record it on the way back.
+// crossing it and periodically recomputes its advertised per-unit-weight
+// share by consistent marking — the largest A with
+// A = (C - Σ_{r_i < w_i·A} r_i) / Σ_{r_i >= w_i·A} w_i.
+// RM cells collect min(w·advertised) over the path; the source adopts
+// the echoed value; links record it on the way back.  Unit weights
+// reduce A to the classic per-flow consistent-marking rate.
 #pragma once
 
 #include <optional>
@@ -49,11 +51,14 @@ class Bfyz final : public CellProtocolBase {
   void on_leave_link(LinkId link, SessionId s) override;
 
  private:
+  struct Recorded {
+    std::optional<Rate> rate;  // last granted rate; nullopt until echoed
+    double weight = 1.0;
+  };
   struct LinkState {
     Rate capacity = 0;
-    Rate advertised = 0;
-    // Last granted rate per session; nullopt until the first echo.
-    std::unordered_map<SessionId, std::optional<Rate>> recorded;
+    Rate advertised = 0;  // per-unit-weight share (level)
+    std::unordered_map<SessionId, Recorded> recorded;
     bool dirty = false;
   };
 

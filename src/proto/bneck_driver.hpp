@@ -23,8 +23,9 @@ class BneckDriver final : public FairShareProtocol {
 
   [[nodiscard]] std::string name() const override { return "B-Neck"; }
 
-  void join(SessionId s, net::Path path, Rate demand) override {
-    bneck_.join(s, std::move(path), demand);
+  void join(SessionId s, net::Path path, Rate demand = kRateInfinity,
+            double weight = 1.0) override {
+    bneck_.join(s, std::move(path), demand, weight);
   }
   void leave(SessionId s) override { bneck_.leave(s); }
   void change(SessionId s, Rate demand) override { bneck_.change(s, demand); }

@@ -1,6 +1,7 @@
 #include "proto/cell_base.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bneck::proto {
 
@@ -15,13 +16,17 @@ CellProtocolBase::CellProtocolBase(sim::Simulator& simulator,
   BNECK_EXPECT(cfg_.packet_bits > 0, "packet size must be positive");
 }
 
-void CellProtocolBase::join(SessionId s, net::Path path, Rate demand) {
+void CellProtocolBase::join(SessionId s, net::Path path, Rate demand,
+                            double weight) {
   BNECK_EXPECT(sessions_.find(s) == sessions_.end(),
                "session ids are single-use");
+  BNECK_EXPECT(weight > 0 && std::isfinite(weight),
+               "session weight must be positive and finite");
   BNECK_EXPECT(path.links.size() >= 2, "path needs access links at both ends");
   auto& sess = sessions_[s];
   sess.path = std::move(path);
   sess.demand = demand;
+  sess.weight = weight;
   sess.rate = 0;
   sess.active = true;
   send_cell(s);
@@ -52,7 +57,7 @@ Rate CellProtocolBase::current_rate(SessionId s) const {
 std::vector<core::SessionSpec> CellProtocolBase::active_specs() const {
   std::vector<core::SessionSpec> specs;
   for (const auto& [s, sess] : sessions_) {
-    if (sess.active) specs.push_back({s, sess.path, sess.demand});
+    if (sess.active) specs.push_back({s, sess.path, sess.demand, sess.weight});
   }
   std::sort(specs.begin(), specs.end(),
             [](const auto& a, const auto& b) { return a.id < b.id; });

@@ -7,6 +7,11 @@
 // None of them can detect convergence, so the cells keep flowing — that
 // is precisely the non-quiescence B-Neck removes.
 //
+// Weighted max-min: the per-link offers of all three baselines are
+// per-unit-weight *levels*; a session of weight w is offered w times the
+// level (the on_forward hooks read session.weight).  With unit weights
+// the arithmetic matches the unweighted originals exactly.
+//
 // CellProtocolBase owns the transport (FIFO links with transmission and
 // propagation delay, identical timing to BneckProtocol), the per-session
 // registry, the periodic cell clock, and packet accounting.  Subclasses
@@ -53,7 +58,8 @@ class CellProtocolBase
   CellProtocolBase(sim::Simulator& simulator, const net::Network& network,
                    CellConfig config);
 
-  void join(SessionId s, net::Path path, Rate demand) override;
+  void join(SessionId s, net::Path path, Rate demand = kRateInfinity,
+            double weight = 1.0) override;
   void leave(SessionId s) override;
   void change(SessionId s, Rate demand) override;
   [[nodiscard]] Rate current_rate(SessionId s) const override;
@@ -68,7 +74,8 @@ class CellProtocolBase
   struct Session {
     net::Path path;
     Rate demand = kRateInfinity;
-    Rate rate = 0;     // currently assigned
+    double weight = 1.0;  // max-min weight (links offer weight x level)
+    Rate rate = 0;        // currently assigned
     bool active = false;
   };
 

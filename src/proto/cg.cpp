@@ -31,12 +31,14 @@ Rate CobbGouda::advertised(LinkId e) const {
 
 void CobbGouda::on_forward(LinkId link, Session& session, Cell& cell) {
   LinkState& st = state(link);
-  // Constant-size accounting: the aggregate declared load and the probe
-  // count this round.  Nothing is keyed by session — that is CG's
-  // defining property.
-  ++st.count_total;
+  // Constant-size accounting: the aggregate declared load and the total
+  // probe weight this round.  Nothing is keyed by session — that is CG's
+  // defining property.  The advertised share is per unit weight, so a
+  // weighted session collects weight x A.
+  st.weight_total += session.weight;
   st.sum_declared += session.rate;
-  cell.field = std::min(cell.field, st.advertised);
+  st.min_weight = std::min(st.min_weight, session.weight);
+  cell.field = std::min(cell.field, session.weight * st.advertised);
 }
 
 void CobbGouda::on_backward(LinkId, Session&, Cell&) {
@@ -51,21 +53,22 @@ void CobbGouda::end_round() {
   for (auto& slot : links_) {
     if (!slot.has_value()) continue;
     LinkState& st = *slot;
-    if (st.count_total > 0) {
+    if (st.weight_total > 0) {
       // Integrate towards the water level where the aggregate declared
-      // load matches the capacity: Σ_i min(A, r_i) = C is exactly the
-      // max-min fixpoint of a saturated link.  The per-session step
-      // (C - y)/n shrinks with the population, which is why CG-style
-      // constant-state schemes converge slowly for many sessions.
+      // load matches the capacity: Σ_i min(w_i·A, r_i) = C is exactly the
+      // weighted max-min fixpoint of a saturated link.  The per-weight
+      // step (C - y)/Σw shrinks with the population, which is why
+      // CG-style constant-state schemes converge slowly for many
+      // sessions.  (Unit weights make Σw the probe count, as in CG.)
       const double delta =
-          (st.capacity - st.sum_declared) / st.count_total;
-      st.advertised =
-          std::clamp(st.advertised + 0.5 * delta, 1e-6, st.capacity);
+          (st.capacity - st.sum_declared) / st.weight_total;
+      st.advertised = std::clamp(st.advertised + 0.5 * delta, 1e-6,
+                                 st.capacity / st.min_weight);
     } else {
       st.advertised = st.capacity;
     }
     st.sum_declared = 0;
-    st.count_total = 0;
+    st.weight_total = 0;
   }
 }
 

@@ -9,7 +9,7 @@
 // the paper reports: convergence is round-by-round and becomes very slow
 // as the session count grows (it fails to reach the solution within the
 // allotted time beyond a few hundred sessions).
-// See DESIGN.md §5 "Substitutions".
+// See docs/protocol.md "Deliberate divergences from the paper".
 //
 // Operation: each link keeps one advertised share A and two round
 // accumulators (probe count and aggregate declared load y).  Probes
@@ -49,9 +49,14 @@ class CobbGouda final : public CellProtocolBase {
   // Constant-size state: this is the whole point of CG.
   struct LinkState {
     Rate capacity = 0;
-    Rate advertised = 0;
-    double sum_declared = 0;       // aggregate declared load this round
-    std::int32_t count_total = 0;  // probes seen this round
+    Rate advertised = 0;       // per-unit-weight share (level)
+    double sum_declared = 0;   // aggregate declared load this round
+    double weight_total = 0;   // total weight of probes seen this round
+    // Smallest session weight ever probed: bounds the advertised *level*
+    // at capacity/min_weight (a level ceiling; the old rate-space ceiling
+    // of C starves links whose total weight is < 1).  1 when unweighted,
+    // making the ceiling exactly the classic capacity clamp.
+    double min_weight = 1.0;
   };
 
   LinkState& state(LinkId e);

@@ -33,8 +33,11 @@ class FairShareProtocol {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  virtual void join(SessionId s, net::Path path,
-                    Rate demand = kRateInfinity) = 0;
+  /// API.Join; `weight` is the session's max-min weight (weighted
+  /// max-min extension; every protocol at least records it in
+  /// active_specs so runs validate against the weighted solvers).
+  virtual void join(SessionId s, net::Path path, Rate demand = kRateInfinity,
+                    double weight = 1.0) = 0;
   virtual void leave(SessionId s) = 0;
   /// API.Change(s, r): adjusts the maximum requested rate.
   virtual void change(SessionId s, Rate demand) = 0;

@@ -32,9 +32,11 @@ Rate Rcp::offer(LinkId e) const {
 void Rcp::on_forward(LinkId link, Session& session, Cell& cell) {
   LinkState& st = state(link);
   // One cell per session per period: accumulating declared rates over the
-  // period approximates the measured aggregate input rate y.
+  // period approximates the measured aggregate input rate y.  The offer R
+  // is per unit weight; a weighted session is offered weight x R.
   st.y_acc += session.rate;
-  cell.field = std::min(cell.field, st.r);
+  st.min_weight = std::min(st.min_weight, session.weight);
+  cell.field = std::min(cell.field, session.weight * st.r);
 }
 
 void Rcp::on_backward(LinkId, Session&, Cell&) {}
@@ -54,7 +56,7 @@ void Rcp::control_step() {
     const double spare = cfg2_.alpha * (st.capacity - y) -
                          cfg2_.beta * st.queue / d_sec;
     st.r = st.r * (1.0 + (t_sec / d_sec) * spare / st.capacity);
-    st.r = std::clamp(st.r, 1e-6, st.capacity);
+    st.r = std::clamp(st.r, 1e-6, st.capacity / st.min_weight);
   }
 }
 

@@ -8,7 +8,8 @@
 //
 //   R <- R * (1 + (T/d) * (alpha*(C - y) - beta*q/d) / C)
 //
-// Sessions pick up min(R) over their path via periodic control packets.
+// Sessions pick up min(w*R) over their path via periodic control packets
+// (R is a per-unit-weight offer; unit weights reproduce classic RCP).
 // In steady state the offers converge towards processor-sharing rates
 // (max-min); before steady state they oscillate, and the controller
 // never stops sending — the non-quiescence B-Neck eliminates.
@@ -47,9 +48,13 @@ class Rcp final : public CellProtocolBase {
  private:
   struct LinkState {
     Rate capacity = 0;
-    Rate r = 0;         // per-flow rate offer
+    Rate r = 0;         // per-unit-weight rate offer (level)
     double y_acc = 0;   // aggregate declared rate accumulated this period
     double queue = 0;   // virtual queue, megabits
+    // Smallest session weight ever seen: the offer is a level, so its
+    // ceiling is capacity/min_weight (the old rate-space ceiling of C
+    // starves links whose total weight is < 1).  1 when unweighted.
+    double min_weight = 1.0;
   };
 
   LinkState& state(LinkId e);

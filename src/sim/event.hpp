@@ -3,7 +3,7 @@
 // The simulator's hot path is dominated by one event kind: "deliver this
 // small packet to that long-lived protocol object".  Wrapping every such
 // delivery in a std::function forces a heap allocation per packet (the
-// capture — a handler pointer plus a ~24-byte packet — exceeds the
+// capture — a handler pointer plus a ~32-byte packet — exceeds the
 // 16-byte small-object buffer of common std::function implementations),
 // which at paper scale means tens of millions of allocations per run.
 //
@@ -61,8 +61,15 @@ class Event {
  public:
   /// Sized for the largest hot payload (core::Packet, proto::Cell, the
   /// ARQ wire frame); a static_assert at the schedule site keeps payloads
-  /// honest.
-  static constexpr std::size_t kInlinePayloadBytes = 32;
+  /// honest.  40 bytes fits the 32-byte weighted Packet plus the ARQ
+  /// sequence number.
+  static constexpr std::size_t kInlinePayloadBytes = 40;
+  /// Payloads are 8-byte-aligned (doubles/pointers), not max_align_t:
+  /// the weaker alignment keeps Delivery at 48 bytes and sizeof(Event)
+  /// one byte past it — growing the payload buffer must not balloon the
+  /// event heap, whose footprint dominates the simulator's memory
+  /// traffic.
+  static constexpr std::size_t kPayloadAlign = alignof(double);
 
   explicit Event(EventFn fn) : kind_(Kind::Callback) {
     new (&fn_) EventFn(std::move(fn));
@@ -76,7 +83,7 @@ class Event {
     static_assert(sizeof(T) <= kInlinePayloadBytes,
                   "payload exceeds the inline event buffer; grow "
                   "kInlinePayloadBytes or shrink the payload");
-    static_assert(alignof(T) <= alignof(std::max_align_t));
+    static_assert(alignof(T) <= kPayloadAlign);
     delivery_.handler = &handler;
     std::memcpy(delivery_.bytes, &payload, sizeof(T));
   }
@@ -108,8 +115,10 @@ class Event {
 
   struct Delivery {
     DeliveryHandler* handler;
-    alignas(std::max_align_t) unsigned char bytes[kInlinePayloadBytes];
+    alignas(kPayloadAlign) unsigned char bytes[kInlinePayloadBytes];
   };
+  static_assert(sizeof(Delivery) == 8 + kInlinePayloadBytes,
+                "payload buffer must start right after the handler");
 
   void adopt(Event&& other) noexcept {
     kind_ = other.kind_;

@@ -136,7 +136,7 @@ class Simulator {
 /// handed to the link at `now` starts transmitting when the link is free,
 /// occupies it for `tx`, then propagates for `prop`.  This both models
 /// store-and-forward timing and guarantees the per-link FIFO delivery the
-/// B-Neck correctness argument assumes (DESIGN.md §3).
+/// B-Neck correctness argument assumes (docs/protocol.md).
 class FifoChannel {
  public:
   /// Returns the arrival time at the far end and advances the busy horizon.

@@ -47,6 +47,11 @@ std::vector<SessionPlan> generate_sessions(const net::Network& net,
     plan.demand = rng.chance(cfg.demand_fraction)
                       ? rng.uniform_real(cfg.demand_min, cfg.demand_max)
                       : kRateInfinity;
+    // Guarded so the default (weight_fraction == 0) consumes no RNG draws
+    // and classic workloads stay byte-identical.
+    plan.weight = cfg.weight_fraction > 0 && rng.chance(cfg.weight_fraction)
+                      ? rng.uniform_real(cfg.weight_min, cfg.weight_max)
+                      : 1.0;
     plan.join_at = cfg.window_start +
                    rng.uniform_int(0, std::max<TimeNs>(0, cfg.join_window - 1));
     plan.source_host_index = src_idx;
@@ -67,7 +72,7 @@ void schedule_joins(sim::Simulator& sim, proto::FairShareProtocol& protocol,
                     const std::vector<SessionPlan>& plans) {
   for (const SessionPlan& plan : plans) {
     sim.schedule_at(plan.join_at, [&protocol, plan] {
-      protocol.join(plan.id, plan.path, plan.demand);
+      protocol.join(plan.id, plan.path, plan.demand, plan.weight);
     });
   }
 }

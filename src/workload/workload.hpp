@@ -20,6 +20,7 @@ struct SessionPlan {
   SessionId id;
   net::Path path;
   Rate demand = kRateInfinity;
+  double weight = 1.0;  // max-min weight (weighted extension)
   TimeNs join_at = 0;
   /// Departure time for open-system (churn) workloads; kTimeNever for
   /// sessions that stay.
@@ -38,6 +39,12 @@ struct WorkloadConfig {
   double demand_fraction = 0.0;
   Rate demand_min = 1.0;
   Rate demand_max = 120.0;
+  /// Fraction of sessions with a non-unit max-min weight, sampled
+  /// uniformly from [weight_min, weight_max].  0 (default) keeps the
+  /// classic unweighted workloads byte-identical.
+  double weight_fraction = 0.0;
+  double weight_min = 0.25;
+  double weight_max = 4.0;
 };
 
 /// Generates `cfg.sessions` session plans.  Source hosts are sampled

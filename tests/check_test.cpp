@@ -10,6 +10,8 @@
 // rather than vacuously passing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <string>
 
 #include "check/runner.hpp"
@@ -120,6 +122,55 @@ TEST(Scenario, SpecRoundTripsExactly) {
     EXPECT_EQ(back.seed, sc.seed);
     EXPECT_EQ(format_spec(back), spec);
   }
+}
+
+TEST(Scenario, GeneratorEmitsWeightedScenarios) {
+  // The fuzz stream must actually exercise non-uniform weights: over a
+  // seed block, some joins/changes carry w != 1 (weighted scenarios) and
+  // some scenarios stay fully unweighted.
+  int weighted = 0;
+  int unweighted = 0;
+  for (std::uint64_t seed = 0; seed < 128; ++seed) {
+    const Scenario sc = generate_scenario(seed);
+    const bool any = std::any_of(
+        sc.events.begin(), sc.events.end(),
+        [](const ScheduleEvent& ev) { return ev.weight != 1.0; });
+    (any ? weighted : unweighted)++;
+  }
+  EXPECT_GT(weighted, 16);
+  EXPECT_GT(unweighted, 32);
+}
+
+TEST(Scenario, PreWeightSpecsParseWithUnitWeights) {
+  // Replay specs emitted before the weighted extension carry no :w
+  // fields; they must parse to weight-1 events (bit-for-bit the old
+  // semantics).
+  const Scenario sc = parse_spec(
+      "v1 topo=dumbbell a=2 b=0 hpr=1 hosts=6 tseed=0 rcap=200 acap=100 "
+      "wan=0 loss=0 seed=7 ev=j@0:s0:h0>h2:dinf;c@10:s0:d50;l@20:s0");
+  ASSERT_EQ(sc.events.size(), 3u);
+  for (const auto& ev : sc.events) EXPECT_EQ(ev.weight, 1.0);
+}
+
+TEST(Scenario, WeightedSpecRoundTripsExactly) {
+  Scenario sc;
+  sc.topo.kind = TopoKind::Dumbbell;
+  sc.topo.a = 2;
+  ScheduleEvent j;
+  j.kind = EventKind::Join;
+  j.session = 0;
+  j.src_host = 0;
+  j.dst_host = 2;
+  j.weight = 2.7182818284590451;
+  ScheduleEvent c;
+  c.at = 10;
+  c.kind = EventKind::Change;
+  c.session = 0;
+  c.demand = 50.0;
+  c.weight = 0.125;
+  sc.events = {j, c};
+  const Scenario back = parse_spec(format_spec(sc));
+  EXPECT_EQ(back.events, sc.events);
 }
 
 TEST(Scenario, ParseSpecRejectsMalformedInput) {

@@ -191,6 +191,84 @@ TEST(Bfyz, LeaveFreesBandwidth) {
 
 // ---- CG ----
 
+// ---- weighted baselines (per-unit-weight offers) ----
+//
+// poll_convergence validates against solve_waterfill on active_specs(),
+// which carries the weights — so these also pin the weighted solver
+// agreement end to end.
+
+TEST(Bfyz, ConvergesWithWeights) {
+  // Weights 1 and 3 over a 100 Mbps bottleneck: 25 / 75.
+  const auto n = topo::make_dumbbell(2, 100.0);
+  sim::Simulator sim;
+  Bfyz proto(sim, n);
+  proto.join(SessionId{0}, path_between(n, n.hosts()[0], n.hosts()[2]),
+             kRateInfinity, 1.0);
+  proto.join(SessionId{1}, path_between(n, n.hosts()[1], n.hosts()[3]),
+             kRateInfinity, 3.0);
+  ASSERT_TRUE(poll_convergence(sim, proto, n, milliseconds(50)).has_value());
+  EXPECT_NEAR(proto.current_rate(SessionId{0}), 25.0, 0.5);
+  EXPECT_NEAR(proto.current_rate(SessionId{1}), 75.0, 1.0);
+  proto.shutdown();
+}
+
+TEST(CobbGouda, ConvergesWithWeights) {
+  const auto n = topo::make_dumbbell(2, 100.0);
+  sim::Simulator sim;
+  CobbGouda proto(sim, n);
+  proto.join(SessionId{0}, path_between(n, n.hosts()[0], n.hosts()[2]),
+             kRateInfinity, 1.0);
+  proto.join(SessionId{1}, path_between(n, n.hosts()[1], n.hosts()[3]),
+             kRateInfinity, 3.0);
+  ASSERT_TRUE(
+      poll_convergence(sim, proto, n, milliseconds(200), 0.05).has_value());
+  EXPECT_NEAR(proto.current_rate(SessionId{0}), 25.0, 2.0);
+  EXPECT_NEAR(proto.current_rate(SessionId{1}), 75.0, 4.0);
+  proto.shutdown();
+}
+
+TEST(Rcp, ConvergesWithWeights) {
+  const auto n = topo::make_dumbbell(2, 100.0);
+  sim::Simulator sim;
+  Rcp proto(sim, n);
+  proto.join(SessionId{0}, path_between(n, n.hosts()[0], n.hosts()[2]),
+             kRateInfinity, 1.0);
+  proto.join(SessionId{1}, path_between(n, n.hosts()[1], n.hosts()[3]),
+             kRateInfinity, 3.0);
+  ASSERT_TRUE(
+      poll_convergence(sim, proto, n, milliseconds(300), 0.05).has_value());
+  EXPECT_NEAR(proto.current_rate(SessionId{0}), 25.0, 2.0);
+  EXPECT_NEAR(proto.current_rate(SessionId{1}), 75.0, 4.0);
+  proto.shutdown();
+}
+
+TEST(CobbGouda, LightWeightSessionStillFillsTheLink) {
+  // One session with weight 0.25: its fair rate is the full capacity, so
+  // the per-unit-weight offer must be allowed to exceed the rate-space
+  // capacity (regression: the old clamp at C pinned the session at C/4).
+  const auto n = topo::make_dumbbell(1, 100.0);
+  sim::Simulator sim;
+  CobbGouda proto(sim, n);
+  proto.join(SessionId{0}, path_between(n, n.hosts()[0], n.hosts()[1]),
+             kRateInfinity, 0.25);
+  ASSERT_TRUE(
+      poll_convergence(sim, proto, n, milliseconds(300), 0.05).has_value());
+  EXPECT_NEAR(proto.current_rate(SessionId{0}), 100.0, 5.0);
+  proto.shutdown();
+}
+
+TEST(Rcp, LightWeightSessionStillFillsTheLink) {
+  const auto n = topo::make_dumbbell(1, 100.0);
+  sim::Simulator sim;
+  Rcp proto(sim, n);
+  proto.join(SessionId{0}, path_between(n, n.hosts()[0], n.hosts()[1]),
+             kRateInfinity, 0.25);
+  ASSERT_TRUE(
+      poll_convergence(sim, proto, n, milliseconds(500), 0.05).has_value());
+  EXPECT_NEAR(proto.current_rate(SessionId{0}), 100.0, 5.0);
+  proto.shutdown();
+}
+
 TEST(CobbGouda, ConvergesOnSmallInstance) {
   const auto n = topo::make_dumbbell(3, 90.0);
   sim::Simulator sim;

@@ -2,7 +2,11 @@
 //
 // Runs randomized join/leave/change schedules over randomized topologies
 // under the online invariant checker (src/check/), fans seed blocks over
-// a thread pool, and shrinks failures to minimal reproducers.
+// a thread pool, and shrinks failures to minimal reproducers.  About a
+// third of the generated scenarios carry non-uniform max-min weights
+// (including mid-run weight changes), validating the weighted protocol
+// against the weighted centralized solver; replay specs accept an
+// optional :w<weight> field on join/change events.
 //
 //   bneck_check --seeds 0..500                 # fuzz a seed block
 //   bneck_check --seeds 0..5000 --threads 8    # long campaign
