@@ -1,9 +1,14 @@
 // Micro-benchmarks of the protocols themselves (google-benchmark):
 // end-to-end B-Neck convergence runs (how many sessions per second of
-// wall clock the simulator pushes to quiescence) and the per-cycle cost
-// of the baselines.
+// wall clock the simulator pushes to quiescence), the per-cycle cost of
+// the baselines, and isolated A/B runs of the LinkSessionTable access
+// paths (id-keyed wrappers vs resolved SessionHandle) plus the
+// RateIndex insert-erase churn they drive — so a table-dispatch
+// regression shows up here directly, not only through exp2 wall-clock.
 #include <benchmark/benchmark.h>
 
+#include "core/link_table.hpp"
+#include "core/rate_index.hpp"
 #include "proto/bfyz.hpp"
 #include "proto/bneck_driver.hpp"
 #include "topo/transit_stub.hpp"
@@ -93,6 +98,108 @@ void BM_BfyzSimulatedMillisecond(benchmark::State& state) {
 }
 BENCHMARK(BM_BfyzSimulatedMillisecond)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
+
+// ---- LinkSessionTable access paths: id wrappers vs handles ----
+//
+// Both benchmarks run the same per-session mini-cycle a RouterLink
+// performs when a Response closes a probe (state flip to WAITING_PROBE
+// and back, rate acceptance, hop read for the upstream emit).  The id
+// variant pays one hash probe per operation — the pre-handle dispatch
+// model; the handle variant resolves once and rides the epoch check.
+
+void table_cycle_by_id(core::LinkSessionTable& t, SessionId s, Rate lambda,
+                       std::int64_t& sink) {
+  t.set_mu(s, core::Mu::WaitingProbe);
+  t.set_mu(s, core::Mu::WaitingResponse);
+  t.set_idle_with_lambda(s, lambda);
+  sink += t.hop(s) + static_cast<std::int64_t>(t.in_R(s));
+}
+
+void table_cycle_by_handle(core::LinkSessionTable& t, SessionId s, Rate lambda,
+                           std::int64_t& sink) {
+  core::LinkSessionTable::SessionHandle h = t.find(s);
+  t.set_mu(h, core::Mu::WaitingProbe);
+  t.set_mu(h, core::Mu::WaitingResponse);
+  t.set_idle_with_lambda(h, lambda);
+  sink += t.hop(h) + static_cast<std::int64_t>(t.in_R(h));
+}
+
+core::LinkSessionTable make_table(std::int32_t sessions) {
+  core::LinkSessionTable t(1000.0);
+  for (std::int32_t i = 0; i < sessions; ++i) {
+    t.insert_R(SessionId{i}, i % 7);
+    // Half idle at a shared level, half still probing: a realistic mix
+    // of index membership.
+    if (i % 2 == 0) t.set_idle_with_lambda(SessionId{i}, 1000.0 / sessions);
+  }
+  return t;
+}
+
+void BM_LinkTableIdOps(benchmark::State& state) {
+  const auto sessions = static_cast<std::int32_t>(state.range(0));
+  core::LinkSessionTable t = make_table(sessions);
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    for (std::int32_t i = 0; i < sessions; ++i) {
+      table_cycle_by_id(t, SessionId{i}, 1000.0 / sessions, sink);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * sessions);
+}
+BENCHMARK(BM_LinkTableIdOps)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_LinkTableHandleOps(benchmark::State& state) {
+  const auto sessions = static_cast<std::int32_t>(state.range(0));
+  core::LinkSessionTable t = make_table(sessions);
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    for (std::int32_t i = 0; i < sessions; ++i) {
+      table_cycle_by_handle(t, SessionId{i}, 1000.0 / sessions, sink);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * sessions);
+}
+BENCHMARK(BM_LinkTableHandleOps)->Arg(16)->Arg(256)->Arg(4096);
+
+// ---- RateIndex insert-erase churn ----
+//
+// Every set_idle_with_lambda / set_mu transition re-keys a session in
+// one of the two ordered indexes: an erase at the old level and an
+// insert at the new one.  The paper's convergence pattern clusters all
+// Re sessions on very few distinct levels, so the index is optimized
+// for few-levels/many-members; this bench pins the cost of that churn
+// across level spreads (1, 8 and sessions/4 distinct levels).
+
+void BM_RateIndexChurn(benchmark::State& state) {
+  const auto sessions = static_cast<std::int32_t>(state.range(0));
+  const auto levels = static_cast<std::int32_t>(state.range(1));
+  core::RateIndex index;
+  const auto level_of = [&](std::int32_t i, std::int32_t shift) {
+    return 10.0 + static_cast<Rate>((i + shift) % levels);
+  };
+  for (std::int32_t i = 0; i < sessions; ++i) {
+    index.insert(level_of(i, 0), SessionId{i});
+  }
+  std::int32_t shift = 0;
+  for (auto _ : state) {
+    // Move every member to the neighbouring level: erase + insert, the
+    // exact op pair the table's mutations produce.
+    for (std::int32_t i = 0; i < sessions; ++i) {
+      index.erase(level_of(i, shift), SessionId{i});
+      index.insert(level_of(i, shift + 1), SessionId{i});
+    }
+    ++shift;
+  }
+  benchmark::DoNotOptimize(index.size());
+  state.SetItemsProcessed(state.iterations() * sessions);
+}
+BENCHMARK(BM_RateIndexChurn)
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Args({256, 64})
+    ->Args({4096, 8});
 
 }  // namespace
 }  // namespace bneck

@@ -6,17 +6,31 @@
 // tables (node-based buckets: one indirection per probe, poor locality).
 // FlatIdMap stores {key, value} slots contiguously with linear probing
 // and backward-shift deletion, so the common hit costs one multiply, one
-// mask and one or two adjacent cache lines.
+// mask and one or two adjacent cache lines — key and value share a line,
+// which is the whole win over any two-structure (index + slab) layout:
+// a lookup that misses cache pays for exactly one stream, not two.
+//
+// Epoch-validated slot lookup (the basis of handle-oriented dispatch,
+// core/link_table.hpp): because values live inline in the probe array,
+// a slot can move — try_emplace may rehash the whole array and erase
+// backward-shifts neighbouring slots.  Both bump epoch(), and only
+// they do.  A caller holding {V*, epoch} therefore has a self-checking
+// handle: while the epoch is unchanged the pointer is exact; when it
+// moved, one re-find() restores it.  Mutations that cannot move slots
+// (value writes, non-growing inserts) leave the epoch alone, so a
+// handle survives a whole packet-handler run of unrelated mutations at
+// the cost of an equality check per access instead of a hash probe.
 //
 // Semantics are the subset of std::unordered_map the protocol needs:
-// pointer-returning find (pointers are invalidated by rehash, i.e. by
-// any insert), try_emplace, erase, size, and unordered iteration.
+// pointer-returning find (pointers are invalidated by epoch bumps, as
+// above), try_emplace, erase, size, and unordered iteration.
 // Iteration order is unspecified but deterministic: it depends only on
 // the sequence of inserts and erases, never on allocation addresses —
 // the property every simulator-visible container here must keep.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -35,6 +49,12 @@ class FlatIdMap {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  /// Slot-stability epoch: advances exactly when existing value slots
+  /// may have moved (a rehash inside try_emplace, or any erase).  A
+  /// cached {find() pointer, epoch()} pair is valid iff the epoch still
+  /// matches; see the header comment.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   [[nodiscard]] V* find(Key k) {
     // The invalid id shares its representation (-1) with the empty-slot
     // sentinel; without this guard it would "match" any empty slot.
@@ -52,12 +72,12 @@ class FlatIdMap {
 
   /// Inserts {k, V(args...)} if k is absent.  Returns the value slot and
   /// whether an insert happened.  The pointer is stable until the next
-  /// insert.
+  /// epoch bump (rehashing insert or erase).
   template <class... Args>
   std::pair<V*, bool> try_emplace(Key k, Args&&... args) {
     BNECK_EXPECT(k.valid(), "invalid key");
     // Existing keys must not trigger a rehash: the documented pointer
-    // stability is "until the next insert", not "until the next call".
+    // stability is tied to epoch(), not to "any call happened".
     if (V* existing = find(k)) return {existing, false};
     if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) grow();
     for (std::uint32_t i = ideal(k);; i = (i + 1) & mask_) {
@@ -78,7 +98,7 @@ class FlatIdMap {
   /// the next empty slot, pulling back every element whose probe path
   /// covers the hole (just "is the neighbour displaced?" is not enough:
   /// an element two slots over may probe through the hole even when the
-  /// element in between is home).
+  /// element in between is home).  Bumps epoch(): slots moved.
   bool erase(Key k) {
     if (slots_.empty() || !k.valid()) return false;
     std::uint32_t hole = ideal(k);
@@ -100,6 +120,7 @@ class FlatIdMap {
     slots_[hole].key = -1;
     slots_[hole].value = V();
     --size_;
+    ++epoch_;
     return true;
   }
 
@@ -107,6 +128,7 @@ class FlatIdMap {
     slots_.clear();
     mask_ = 0;
     size_ = 0;
+    ++epoch_;
   }
 
   /// fn(Key, const V&) over all entries, in slot order (deterministic,
@@ -126,6 +148,30 @@ class FlatIdMap {
       if (s.key >= 0 && !pred(Key{s.key}, s.value)) return false;
     }
     return true;
+  }
+
+  /// Internal-consistency audit: size() matches the live slot count,
+  /// and every live slot is reachable by its own probe chain (i.e.
+  /// find() on its key lands on exactly that slot — backward-shift
+  /// deletion must never strand an entry behind an empty slot).
+  /// Returns an empty string when consistent, else a description of the
+  /// first violation.  O(n); for the property harness (src/check/), not
+  /// per-packet paths.
+  [[nodiscard]] std::string audit() const {
+    std::size_t live = 0;
+    for (const Slot& s : slots_) {
+      if (s.key < 0) continue;
+      ++live;
+      const V* via_find = find(Key{s.key});
+      if (via_find == nullptr) {
+        return "live slot unreachable by its probe chain";
+      }
+      if (via_find != &s.value) {
+        return "probe chain resolves a key to a different slot";
+      }
+    }
+    if (live != size_) return "live slot count does not match size()";
+    return std::string();
   }
 
  private:
@@ -148,6 +194,7 @@ class FlatIdMap {
     shift_ = 32;
     for (std::size_t c = cap; c > 1; c >>= 1) --shift_;
     size_ = 0;
+    ++epoch_;
     for (Slot& s : old) {
       if (s.key >= 0) try_emplace(Key{s.key}, std::move(s.value));
     }
@@ -157,6 +204,7 @@ class FlatIdMap {
   std::uint32_t mask_ = 0;
   int shift_ = 28;
   std::size_t size_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace bneck

@@ -184,10 +184,11 @@ void InvariantChecker::on_step(TimeNs now) {
 void InvariantChecker::audit_tables(TimeNs t, bool quiescent) {
   if (!violation_.empty()) return;
   BNECK_EXPECT(bneck_ != nullptr, "checker not attached");
-  for (std::int32_t i = 0; i < net_.link_count(); ++i) {
-    const LinkId e{i};
+  // The dense active-link index skips the (typically large) majority of
+  // directed links that never instantiated a RouterLink.
+  for (const LinkId e : bneck_->active_links()) {
     const core::RouterLink* rl = bneck_->router_link(e);
-    if (rl == nullptr) continue;
+    BNECK_EXPECT(rl != nullptr, "active link without a RouterLink task");
     if (const std::string err = rl->table().audit(); !err.empty()) {
       std::ostringstream os;
       os << "link " << e << " table inconsistent with naive model: " << err;
@@ -196,7 +197,7 @@ void InvariantChecker::audit_tables(TimeNs t, bool quiescent) {
     }
     bool bad = false;
     std::ostringstream os;
-    rl->table().for_each([&](SessionId s, bool, core::Mu, Rate) {
+    rl->table().for_each([&](SessionId s, bool in_r, core::Mu mu, Rate lam) {
       if (bad || !violation_.empty()) return;
       const auto it = sessions_.find(s);
       if (it == sessions_.end()) {
@@ -211,7 +212,34 @@ void InvariantChecker::audit_tables(TimeNs t, bool quiescent) {
         bad = true;
         return;
       }
-      const std::int32_t hop = rl->table().hop(s);
+      // Cross-validate the handle path (what the packet hot path uses)
+      // against the id-keyed wrappers and the iterated record: all
+      // three must tell the same story for every field.
+      core::LinkSessionTable::SessionHandle h = rl->table().find(s);
+      if (!h.valid()) {
+        os << "link " << e << " iterates session " << s
+           << " that find() cannot resolve to a handle";
+        bad = true;
+        return;
+      }
+      if (const std::string err = rl->table().audit_handle(h); !err.empty()) {
+        os << "link " << e << ": " << err;
+        bad = true;
+        return;
+      }
+      if (rl->table().mu(h) != mu || rl->table().in_R(h) != in_r ||
+          rl->table().lambda(h) != lam ||
+          rl->table().mu(h) != rl->table().mu(s) ||
+          rl->table().in_R(h) != rl->table().in_R(s) ||
+          rl->table().lambda(h) != rl->table().lambda(s) ||
+          rl->table().weight(h) != rl->table().weight(s) ||
+          rl->table().hop(h) != rl->table().hop(s)) {
+        os << "link " << e << " session " << s
+           << ": handle-path reads disagree with the id-path reads";
+        bad = true;
+        return;
+      }
+      const std::int32_t hop = rl->table().hop(h);
       const auto& links = it->second.path.links;
       if (hop < 0 || hop >= static_cast<std::int32_t>(links.size()) ||
           links[static_cast<std::size_t>(hop)] != e) {
@@ -298,10 +326,13 @@ void InvariantChecker::on_quiescent(TimeNs quiesced_at) {
   // Per-link recorded state agrees with the allocation: every active
   // session is present at every router hop of its path with its recorded
   // rate (weight x recorded level) equal to its allocated rate and with
-  // the weight the schedule last announced.
+  // the weight the schedule last announced.  Hop 0 is the dedicated
+  // access link managed by the SourceNode itself (paper Figure 3) except
+  // in shared-access mode, where it runs a regular RouterLink too.
+  const std::size_t first_router_hop = cfg_.shared_access_links ? 0 : 1;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& links = specs[i].path.links;
-    for (std::size_t h = 1; h < links.size(); ++h) {
+    for (std::size_t h = first_router_hop; h < links.size(); ++h) {
       const core::RouterLink* rl = bneck_->router_link(links[h]);
       if (rl == nullptr || !rl->table().contains(specs[i].id)) {
         std::ostringstream os;

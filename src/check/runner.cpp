@@ -35,6 +35,7 @@ CheckResult run_scenario(const Scenario& sc, const CheckOptions& opt) {
   core::BneckConfig cfg;
   cfg.loss_probability = run.loss_probability;
   cfg.reliable_links = run.loss_probability > 0;
+  cfg.shared_access_links = run.shared_access;
   cfg.fault_single_kick = opt.fault_single_kick;
 
   InvariantChecker chk(net, cfg, opt);

@@ -171,6 +171,13 @@ Scenario generate_scenario(std::uint64_t seed) {
   // are fuzzed against the weighted centralized solver.
   const bool weighted = rng.chance(0.35);
 
+  // ---- shared access links ----
+  // About a third of the scenarios lift the paper's one-session-per-
+  // source-host simplification (BneckConfig::shared_access_links): joins
+  // may then reuse busy source hosts and the access link is arbitrated
+  // by a regular RouterLink task at the host.
+  sc.shared_access = rng.chance(1.0 / 3);
+
   // ---- event timeline (join / leave / change / burstiness) ----
   const std::int32_t host_count = build_network(t).host_count();
   const std::int32_t n_events = static_cast<std::int32_t>(rng.uniform_int(3, 60));
@@ -190,13 +197,21 @@ Scenario generate_scenario(std::uint64_t seed) {
     if (rng.chance(0.7)) clock += rng.uniform_int(0, microseconds(200));
     const double dice = rng.uniform_real(0.0, 1.0);
     if (dice < 0.55 || live.empty()) {
-      std::vector<std::int32_t> free;
-      for (std::int32_t h = 0; h < host_count; ++h) {
-        if (!host_used[static_cast<std::size_t>(h)]) free.push_back(h);
+      // Dedicated mode: sources come from the free hosts only.  Shared
+      // mode: any host may source any number of sessions, which is
+      // exactly the contention the mode exists to exercise.
+      std::int32_t src = -1;
+      if (sc.shared_access) {
+        src = static_cast<std::int32_t>(rng.uniform_int(0, host_count - 1));
+      } else {
+        std::vector<std::int32_t> free;
+        for (std::int32_t h = 0; h < host_count; ++h) {
+          if (!host_used[static_cast<std::size_t>(h)]) free.push_back(h);
+        }
+        if (free.empty()) continue;
+        src = free[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(free.size()) - 1))];
       }
-      if (free.empty()) continue;
-      const std::int32_t src = free[static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(free.size()) - 1))];
       std::int32_t dst = src;
       while (dst == src) {
         dst = static_cast<std::int32_t>(rng.uniform_int(0, host_count - 1));
@@ -266,7 +281,8 @@ std::size_t normalize(Scenario& sc) {
             ev.dst_host >= host_count || ev.src_host == ev.dst_host ||
             !(ev.demand > 0) || !(ev.weight > 0) ||
             !std::isfinite(ev.weight) || ever_joined.contains(ev.session) ||
-            host_used[static_cast<std::size_t>(ev.src_host)]) {
+            (!sc.shared_access &&
+             host_used[static_cast<std::size_t>(ev.src_host)])) {
           continue;
         }
         ever_joined.insert(ev.session);
@@ -277,6 +293,8 @@ std::size_t normalize(Scenario& sc) {
       case EventKind::Leave: {
         const auto it = live_src.find(ev.session);
         if (ev.at < 0 || it == live_src.end()) continue;
+        // In shared mode several live sessions may use the host; only
+        // the dedicated mode's one-per-host bookkeeping needs clearing.
         host_used[static_cast<std::size_t>(it->second)] = false;
         live_src.erase(it);
         break;
@@ -357,7 +375,10 @@ std::string format_spec(const Scenario& sc) {
      << " rcap=" << rate_str(sc.topo.router_capacity)
      << " acap=" << rate_str(sc.topo.access_capacity)
      << " wan=" << (sc.topo.wan ? 1 : 0) << " loss=" << rate_str(sc.loss_probability)
-     << " seed=" << sc.seed << " ev=";
+     << " seed=" << sc.seed;
+  // Omitted when false so pre-shared-mode specs round-trip unchanged.
+  if (sc.shared_access) os << " shared=1";
+  os << " ev=";
   bool first = true;
   for (const ScheduleEvent& ev : sc.events) {
     if (!first) os << ';';
@@ -413,6 +434,8 @@ Scenario parse_spec(const std::string& spec) {
       sc.loss_probability = rate_from(value);
     } else if (key == "seed") {
       sc.seed = static_cast<std::uint64_t>(int_from(value));
+    } else if (key == "shared") {
+      sc.shared_access = int_from(value) != 0;
     } else if (key == "ev") {
       for (const std::string& item : split(value, ';')) {
         BNECK_EXPECT(item.size() >= 3 && item[1] == '@',
@@ -513,8 +536,9 @@ std::string cpp_snippet(const Scenario& sc, const std::string& test_name,
      << "  sc.topo.access_capacity = " << rate_str(sc.topo.access_capacity)
      << ";\n"
      << "  sc.topo.wan = " << (sc.topo.wan ? "true" : "false") << ";\n"
-     << "  sc.loss_probability = " << rate_str(sc.loss_probability) << ";\n"
-     << "  sc.events = {\n";
+     << "  sc.loss_probability = " << rate_str(sc.loss_probability) << ";\n";
+  if (sc.shared_access) os << "  sc.shared_access = true;\n";
+  os << "  sc.events = {\n";
   for (const ScheduleEvent& ev : sc.events) {
     os << "      {" << ev.at << ", EventKind::";
     switch (ev.kind) {

@@ -85,6 +85,12 @@ struct Scenario {
   /// (BneckConfig::reliable_links), as lossy runs would otherwise
   /// deadlock by design.
   double loss_probability = 0.0;
+  /// Runs the protocol with BneckConfig::shared_access_links: any number
+  /// of sessions may share a source host (the access link is arbitrated
+  /// by a RouterLink task at the host).  The generator arms it on about
+  /// a third of the seeds; normalize() then permits concurrent sessions
+  /// on one source.  Specs carry it as `shared=1` (omitted when false).
+  bool shared_access = false;
   std::vector<ScheduleEvent> events;
 };
 

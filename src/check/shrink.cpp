@@ -128,6 +128,12 @@ class Shrinker {
       if (best_.loss_probability > 0) {
         cands.push_back(with([](Scenario& c) { c.loss_probability = 0; }));
       }
+      if (best_.shared_access) {
+        // Mode -> default pass: most failures that reproduce in shared-
+        // access mode also do in the paper's dedicated mode (normalize
+        // then drops joins that would share a source).
+        cands.push_back(with([](Scenario& c) { c.shared_access = false; }));
+      }
       if (best_.topo.wan) {
         cands.push_back(with([](Scenario& c) { c.topo.wan = false; }));
       }

@@ -13,9 +13,9 @@ BneckProtocol::BneckProtocol(sim::Simulator& simulator,
       cfg_(config),
       trace_(trace),
       channels_(static_cast<std::size_t>(network.link_count())),
-      arq_(static_cast<std::size_t>(network.link_count())),
+      arq_slot_(static_cast<std::size_t>(network.link_count()), -1),
       loss_rng_(config.loss_seed),
-      links_(static_cast<std::size_t>(network.link_count())),
+      link_slot_(static_cast<std::size_t>(network.link_count()), -1),
       sources_in_use_(static_cast<std::size_t>(network.node_count()), 0) {
   BNECK_EXPECT(cfg_.packet_bits > 0, "packet size must be positive");
   BNECK_EXPECT(cfg_.loss_probability >= 0.0 && cfg_.loss_probability < 1.0,
@@ -31,7 +31,7 @@ std::int32_t BneckProtocol::register_session(SessionId s) {
     if (v >= id_to_slot_.size()) id_to_slot_.resize(v + 1, -1);
     id_to_slot_[v] = slot;
   } else {
-    sparse_ids_.emplace(s, slot);
+    sparse_ids_.try_emplace(s, slot);
   }
   sessions_.emplace_back();
   sessions_.back().id = s;
@@ -45,17 +45,20 @@ BneckProtocol::SessionRt& BneckProtocol::runtime(SessionId s) {
 }
 
 RouterLink& BneckProtocol::router_link_at(LinkId e) {
-  auto& slot = links_[static_cast<std::size_t>(e.value())];
-  if (!slot) {
-    slot = std::make_unique<RouterLink>(e, net_.link(e).capacity, *this,
-                                        cfg_.fault_single_kick);
+  std::int32_t& slot = link_slot_[static_cast<std::size_t>(e.value())];
+  if (slot < 0) {
+    slot = static_cast<std::int32_t>(link_arena_.size());
+    link_arena_.emplace_back(e, net_.link(e).capacity, *this,
+                             cfg_.fault_single_kick);
+    active_links_.push_back(e);
   }
-  return *slot;
+  return link_arena_[static_cast<std::size_t>(slot)];
 }
 
 const RouterLink* BneckProtocol::router_link(LinkId e) const {
   BNECK_EXPECT(e.valid() && e.value() < net_.link_count(), "bad link id");
-  return links_[static_cast<std::size_t>(e.value())].get();
+  const std::int32_t slot = link_slot_[static_cast<std::size_t>(e.value())];
+  return slot < 0 ? nullptr : &link_arena_[static_cast<std::size_t>(slot)];
 }
 
 void BneckProtocol::on_rate(SessionId s, Rate r) {
@@ -160,8 +163,8 @@ std::vector<SessionSpec> BneckProtocol::active_specs() const {
 }
 
 bool BneckProtocol::all_tasks_stable() const {
-  for (const auto& link : links_) {
-    if (link && !link->stable()) return false;
+  for (std::size_t i = 0; i < link_arena_.size(); ++i) {
+    if (!link_arena_[i].stable()) return false;
   }
   for (const SessionRt& rt : sessions_) {
     if (rt.source && !rt.source->stable()) return false;
@@ -174,13 +177,14 @@ TimeNs BneckProtocol::tx_time(const net::Link& l) const {
 }
 
 ArqChannel& BneckProtocol::arq_channel_at(LinkId physical) {
-  auto& slot = arq_[static_cast<std::size_t>(physical.value())];
-  if (!slot) {
+  std::int32_t& slot = arq_slot_[static_cast<std::size_t>(physical.value())];
+  if (slot < 0) {
     const net::Link& l = net_.link(physical);
     const net::Link& rev = net_.link(l.reverse);
     ArqConfig acfg;
     acfg.loss_probability = cfg_.loss_probability;
-    slot = std::make_unique<ArqChannel>(
+    slot = static_cast<std::int32_t>(arq_arena_.size());
+    arq_arena_.emplace_back(
         sim_, channels_[static_cast<std::size_t>(physical.value())],
         channels_[static_cast<std::size_t>(l.reverse.value())], tx_time(l),
         l.prop_delay, tx_time(rev), rev.prop_delay, acfg, loss_rng_.fork(),
@@ -191,13 +195,13 @@ ArqChannel& BneckProtocol::arq_channel_at(LinkId physical) {
           if (trace_ != nullptr) trace_->on_packet_sent(sim_.now(), p, physical);
         });
   }
-  return *slot;
+  return arq_arena_[static_cast<std::size_t>(slot)];
 }
 
 std::uint64_t BneckProtocol::retransmissions() const {
   std::uint64_t total = 0;
-  for (const auto& ch : arq_) {
-    if (ch) total += ch->retransmissions();
+  for (std::size_t i = 0; i < arq_arena_.size(); ++i) {
+    total += arq_arena_[i].retransmissions();
   }
   return total;
 }
@@ -227,8 +231,15 @@ std::uint64_t BneckProtocol::probe_cycles(SessionId s) const {
                    : 0;
 }
 
+BneckProtocol::SessionRt& BneckProtocol::runtime_for_send(SessionId s) {
+  if (s == delivering_id_ && delivering_slot_ >= 0) {
+    return sessions_[static_cast<std::size_t>(delivering_slot_)];
+  }
+  return runtime(s);
+}
+
 void BneckProtocol::send_downstream(Packet p, std::int32_t from_hop) {
-  SessionRt& rt = runtime(p.session);
+  SessionRt& rt = runtime_for_send(p.session);
   const std::int32_t source_emit = cfg_.shared_access_links ? -1 : 0;
   if (from_hop == source_emit &&
       (p.type == PacketType::Join || p.type == PacketType::Probe)) {
@@ -250,7 +261,7 @@ void BneckProtocol::send_downstream(Packet p, std::int32_t from_hop) {
 }
 
 void BneckProtocol::send_upstream(Packet p, std::int32_t from_hop) {
-  const SessionRt& rt = runtime(p.session);
+  const SessionRt& rt = runtime_for_send(p.session);
   BNECK_EXPECT(!is_downstream(p.type), "downstream packet sent upstream");
   BNECK_EXPECT(from_hop >= 0 &&
                    from_hop <= static_cast<std::int32_t>(rt.path.links.size()),
@@ -270,7 +281,16 @@ void BneckProtocol::send_upstream(Packet p, std::int32_t from_hop) {
 }
 
 void BneckProtocol::deliver(const Packet& p) {
-  const SessionRt& rt = runtime(p.session);
+  // Resolve the session once; the (id, slot) pair is published for
+  // runtime_for_send so the sends this delivery triggers skip the
+  // lookup, and the task handlers below receive the already-resolved
+  // hop.  Each RouterLink handler in turn resolves its table record
+  // once into a SessionHandle (router_link.hpp).
+  const std::int32_t slot = slot_of(p.session);
+  BNECK_EXPECT(slot >= 0, "unknown session");
+  delivering_id_ = p.session;
+  delivering_slot_ = slot;
+  const SessionRt& rt = sessions_[static_cast<std::size_t>(slot)];
   const auto path_len = static_cast<std::int32_t>(rt.path.links.size());
 
   // The source task sits at hop -1 in shared-access mode (every path

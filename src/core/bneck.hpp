@@ -34,8 +34,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
+
+#include "base/flat_hash.hpp"
+#include "base/slab.hpp"
 
 #include "core/arq.hpp"
 #include "core/packet.hpp"
@@ -147,6 +149,14 @@ class BneckProtocol final
   /// carried a session.
   [[nodiscard]] const RouterLink* router_link(LinkId e) const;
 
+  /// Directed links that have an instantiated RouterLink task, in
+  /// construction order (deterministic).  Full-network walks — the
+  /// property harness's per-link table audits in particular — iterate
+  /// this dense index instead of probing every directed link id.
+  [[nodiscard]] const std::vector<LinkId>& active_links() const {
+    return active_links_;
+  }
+
   /// Paper Definition 2, state part: every router link and source is
   /// stable.  Combined with the simulator being idle this is full
   /// network stability.
@@ -195,17 +205,21 @@ class BneckProtocol final
 
   /// Slot of a session in sessions_, or -1 if the id was never joined.
   /// One array index for dense ids (the experiment harnesses allocate
-  /// them sequentially); arbitrary sparse ids fall back to a map.
+  /// them sequentially); arbitrary sparse ids fall back to a flat map.
   [[nodiscard]] std::int32_t slot_of(SessionId s) const {
     const auto v = static_cast<std::uint32_t>(s.value());
     if (v < id_to_slot_.size()) return id_to_slot_[v];
     if (v < kDenseIdLimit) return -1;
-    const auto it = sparse_ids_.find(s);
-    return it != sparse_ids_.end() ? it->second : -1;
+    const std::int32_t* slot = sparse_ids_.find(s);
+    return slot != nullptr ? *slot : -1;
   }
   std::int32_t register_session(SessionId s);  // new slot; rejects reuse
 
   SessionRt& runtime(SessionId s);
+  /// Like runtime(), but reuses the slot deliver() already resolved when
+  /// the send is for the packet being delivered — the common case for
+  /// every forwarding hop, so the per-hop send costs no id lookup.
+  SessionRt& runtime_for_send(SessionId s);
   RouterLink& router_link_at(LinkId e);
   ArqChannel& arq_channel_at(LinkId physical);
   void transmit(Packet p, LinkId physical, std::int32_t to_hop);
@@ -220,10 +234,21 @@ class BneckProtocol final
   TraceSink* trace_;
   RateCallback rate_cb_;
 
-  std::vector<sim::FifoChannel> channels_;           // per directed link
-  std::vector<std::unique_ptr<ArqChannel>> arq_;     // per directed link, lazy
+  std::vector<sim::FifoChannel> channels_;  // per directed link
+
+  // Task storage: RouterLink / ArqChannel objects live in stable-address
+  // slab arenas (base/slab.hpp), constructed lazily in first-use order.
+  // A per-directed-link slot vector maps link id -> arena slot (-1 =
+  // never instantiated); in-process walks (stability checks,
+  // retransmission counts) iterate the dense arenas directly, and
+  // active_links_ gives external observers (active_links()) the same
+  // dense view with the link ids attached.
+  Slab<ArqChannel> arq_arena_;
+  std::vector<std::int32_t> arq_slot_;      // per directed link, -1 = none
   Rng loss_rng_;
-  std::vector<std::unique_ptr<RouterLink>> links_;   // per directed link, lazy
+  Slab<RouterLink> link_arena_;
+  std::vector<std::int32_t> link_slot_;     // per directed link, -1 = none
+  std::vector<LinkId> active_links_;        // construction order
 
   // Dense session table: session runtime state lives in a slot-indexed
   // vector; ids resolve to slots through a flat vector, so the two
@@ -235,8 +260,14 @@ class BneckProtocol final
   // the simulator instead — every harness in this repo already does).
   static constexpr std::uint32_t kDenseIdLimit = 1u << 22;
   std::vector<SessionRt> sessions_;
-  std::vector<std::int32_t> id_to_slot_;               // ids < kDenseIdLimit
-  std::unordered_map<SessionId, std::int32_t> sparse_ids_;  // the rest
+  std::vector<std::int32_t> id_to_slot_;            // ids < kDenseIdLimit
+  FlatIdMap<SessionTag, std::int32_t> sparse_ids_;  // the rest
+  // deliver()'s resolved (id, slot), reused by runtime_for_send() for
+  // the sends the handler emits for that same session.  A slot is
+  // stable for the session's lifetime (tombstoned, never reused), so
+  // the cache can never go stale — at worst it misses.
+  SessionId delivering_id_;
+  std::int32_t delivering_slot_ = -1;
   // Active sessions per source host node id; enforces the paper's one-
   // session-per-host model unless shared_access_links is set.
   std::vector<std::int32_t> sources_in_use_;

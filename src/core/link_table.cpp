@@ -23,19 +23,22 @@ LinkSessionTable::LinkSessionTable(Rate capacity) : capacity_(capacity) {
   BNECK_EXPECT(capacity > 0, "link capacity must be positive");
 }
 
-void LinkSessionTable::insert_R(SessionId s, std::int32_t hop, double weight) {
+LinkSessionTable::SessionHandle LinkSessionTable::insert_R(SessionId s,
+                                                           std::int32_t hop,
+                                                           double weight) {
   BNECK_EXPECT(weight > 0 && std::isfinite(weight),
                "session weight must be positive and finite");
-  const bool inserted =
-      recs_.try_emplace(s, Rec{Mu::WaitingResponse, 0, weight, true, hop})
-          .second;
+  const auto [slot, inserted] =
+      recs_.try_emplace(s, Rec{Mu::WaitingResponse, 0, weight, true, hop});
   BNECK_EXPECT(inserted, "duplicate Join at link");
   ++r_count_;
   r_weight_ += weight;
+  // Epoch read after the insert: a rehash inside try_emplace bumps it.
+  return SessionHandle{slot, recs_.epoch(), s};
 }
 
-void LinkSessionTable::set_weight(SessionId s, double weight) {
-  Rec& r = rec(s);
+void LinkSessionTable::set_weight(SessionHandle& h, double weight) {
+  Rec& r = rec_mut(h);
   if (r.weight == weight) return;
   BNECK_EXPECT(weight > 0 && std::isfinite(weight),
                "session weight must be positive and finite");
@@ -50,10 +53,9 @@ void LinkSessionTable::set_weight(SessionId s, double weight) {
   r.weight = weight;
 }
 
-void LinkSessionTable::erase(SessionId s) {
-  const Rec* found = recs_.find(s);
-  BNECK_EXPECT(found != nullptr, "erase of unknown session");
-  const Rec r = *found;  // copy: recs_.erase shifts slots
+void LinkSessionTable::erase(SessionHandle& h) {
+  const Rec r = rec(h);  // copy: recs_.erase below moves slots
+  const SessionId s = h.id();
   if (r.in_r) {
     if (r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
     --r_count_;
@@ -64,7 +66,7 @@ void LinkSessionTable::erase(SessionId s) {
     f_sum_ -= r.weight * r.lambda;
     ++f_mutations_;
   }
-  recs_.erase(s);
+  recs_.erase(s);  // frees the slab slot; h and its copies are dead now
   // Long runs of joins/leaves accumulate floating drift in the running
   // Fe sum; rebuild it exactly every so often.  (The λ keys in f_ are
   // levels, so the exact sum needs each member's weight back.)
@@ -74,61 +76,62 @@ void LinkSessionTable::erase(SessionId s) {
     f_mutations_ = 0;
     long double sum = 0;
     f_.for_each([this, &sum](Rate lambda, SessionId member) {
-      sum += rec(member).weight * lambda;
+      SessionHandle m = checked(member);
+      sum += rec(m).weight * lambda;
     });
     f_sum_ = sum;
   }
 }
 
-void LinkSessionTable::move_to_R(SessionId s) {
-  Rec& r = rec(s);
+void LinkSessionTable::move_to_R(SessionHandle& h) {
+  Rec& r = rec_mut(h);
   BNECK_EXPECT(!r.in_r, "move_to_R: already in Re");
-  f_.erase(r.lambda, s);
+  f_.erase(r.lambda, h.id());
   f_sum_ -= r.weight * r.lambda;
   ++f_mutations_;
   if (f_.empty()) f_sum_ = 0;
   r.in_r = true;
   ++r_count_;
   r_weight_ += r.weight;
-  if (r.mu == Mu::Idle) idle_r_.insert(r.lambda, s);
+  if (r.mu == Mu::Idle) idle_r_.insert(r.lambda, h.id());
 }
 
-void LinkSessionTable::move_to_F(SessionId s) {
-  Rec& r = rec(s);
+void LinkSessionTable::move_to_F(SessionHandle& h) {
+  Rec& r = rec_mut(h);
   BNECK_EXPECT(r.in_r, "move_to_F: not in Re");
-  if (r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
+  if (r.mu == Mu::Idle) idle_r_.erase(r.lambda, h.id());
   r.in_r = false;
   --r_count_;
   r_weight_ -= r.weight;
   if (r_count_ == 0) r_weight_ = 0;
-  f_.insert(r.lambda, s);
+  f_.insert(r.lambda, h.id());
   f_sum_ += r.weight * r.lambda;
   ++f_mutations_;
 }
 
-void LinkSessionTable::set_mu(SessionId s, Mu m) {
-  Rec& r = rec(s);
+void LinkSessionTable::set_mu(SessionHandle& h, Mu m) {
+  Rec& r = rec_mut(h);
   if (r.mu == m) return;
-  if (r.in_r && r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
+  if (r.in_r && r.mu == Mu::Idle) idle_r_.erase(r.lambda, h.id());
   r.mu = m;
-  if (r.in_r && r.mu == Mu::Idle) idle_r_.insert(r.lambda, s);
+  if (r.in_r && r.mu == Mu::Idle) idle_r_.insert(r.lambda, h.id());
 }
 
-void LinkSessionTable::set_idle_with_lambda(SessionId s, Rate lambda) {
-  Rec& r = rec(s);
-  if (r.in_r && r.mu == Mu::Idle) idle_r_.erase(r.lambda, s);
+void LinkSessionTable::set_idle_with_lambda(SessionHandle& h, Rate lambda) {
+  Rec& r = rec_mut(h);
+  if (r.in_r && r.mu == Mu::Idle) idle_r_.erase(r.lambda, h.id());
   const bool was_f = !r.in_r;
   if (was_f) {
-    f_.erase(r.lambda, s);
+    f_.erase(r.lambda, h.id());
     f_sum_ -= r.weight * r.lambda;
     ++f_mutations_;
   }
   r.lambda = lambda;
   r.mu = Mu::Idle;
   if (r.in_r) {
-    idle_r_.insert(lambda, s);
+    idle_r_.insert(lambda, h.id());
   } else {
-    f_.insert(lambda, s);
+    f_.insert(lambda, h.id());
     f_sum_ += r.weight * lambda;
   }
 }
@@ -148,41 +151,82 @@ Rate LinkSessionTable::max_F_lambda() const {
   return f_.max_rate();
 }
 
-void LinkSessionTable::F_at(Rate value, std::vector<SessionId>& out) const {
+template <class Out>
+void LinkSessionTable::F_at_impl(Rate value, Out& out) const {
   out.clear();
   const auto [lo, hi] = window(value);
   f_.for_window(lo, hi, [&](Rate r, SessionId s) {
-    if (rate_eq(r, value)) out.push_back(s);
+    if (rate_eq(r, value)) emit(s, out);
   });
 }
 
-void LinkSessionTable::idle_R_above(Rate threshold,
-                                    std::vector<SessionId>& out) const {
+template <class Out>
+void LinkSessionTable::idle_R_above_impl(Rate threshold, Out& out) const {
   out.clear();
   const auto [lo, hi] = window(threshold);
   (void)hi;
   idle_r_.for_from(lo, [&](Rate r, SessionId s) {
-    if (rate_gt(r, threshold)) out.push_back(s);
+    if (rate_gt(r, threshold)) emit(s, out);
   });
 }
 
-void LinkSessionTable::idle_R_at(Rate value, SessionId exclude,
-                                 std::vector<SessionId>& out) const {
+template <class Out>
+void LinkSessionTable::idle_R_at_impl(Rate value, SessionId exclude,
+                                      Out& out) const {
   out.clear();
   if (r_count_ == 0) return;
   const auto [lo, hi] = window(value);
   idle_r_.for_window(lo, hi, [&](Rate r, SessionId s) {
-    if (s != exclude && rate_eq(r, value)) out.push_back(s);
+    if (s != exclude && rate_eq(r, value)) emit(s, out);
   });
+}
+
+template <class Out>
+void LinkSessionTable::idle_R_all_impl(SessionId exclude, Out& out) const {
+  out.clear();
+  out.reserve(idle_r_.size());
+  idle_r_.for_each([&](Rate, SessionId s) {
+    if (s != exclude) emit(s, out);
+  });
+}
+
+void LinkSessionTable::F_at(Rate value,
+                            std::vector<SessionHandle>& out) const {
+  F_at_impl(value, out);
+}
+
+void LinkSessionTable::F_at(Rate value, std::vector<SessionId>& out) const {
+  F_at_impl(value, out);
+}
+
+void LinkSessionTable::idle_R_above(Rate threshold,
+                                    std::vector<SessionHandle>& out) const {
+  idle_R_above_impl(threshold, out);
+}
+
+void LinkSessionTable::idle_R_above(Rate threshold,
+                                    std::vector<SessionId>& out) const {
+  idle_R_above_impl(threshold, out);
+}
+
+void LinkSessionTable::idle_R_at(Rate value, SessionId exclude,
+                                 std::vector<SessionHandle>& out) const {
+  idle_R_at_impl(value, exclude, out);
+}
+
+void LinkSessionTable::idle_R_at(Rate value, SessionId exclude,
+                                 std::vector<SessionId>& out) const {
+  idle_R_at_impl(value, exclude, out);
+}
+
+void LinkSessionTable::idle_R_all(SessionId exclude,
+                                  std::vector<SessionHandle>& out) const {
+  idle_R_all_impl(exclude, out);
 }
 
 void LinkSessionTable::idle_R_all(SessionId exclude,
                                   std::vector<SessionId>& out) const {
-  out.clear();
-  out.reserve(idle_r_.size());
-  idle_r_.for_each([&](Rate, SessionId s) {
-    if (s != exclude) out.push_back(s);
-  });
+  idle_R_all_impl(exclude, out);
 }
 
 std::string LinkSessionTable::audit() const {
@@ -192,7 +236,15 @@ std::string LinkSessionTable::audit() const {
     return err.str();
   };
 
+  // The record map's own probe-chain reachability must be intact before
+  // anything built on top of find() can be trusted.
+  if (const std::string e = recs_.audit(); !e.empty()) {
+    return fail("record map: ", e);
+  }
+
   // Naive reconstruction of every aggregate and index from recs_ alone.
+  // Along the way, cross-validate the handle path against the id path:
+  // a fresh find() must resolve every iterated record to itself.
   std::size_t naive_r = 0;
   long double naive_r_weight = 0;
   long double naive_f_sum = 0;
@@ -216,6 +268,11 @@ std::string LinkSessionTable::audit() const {
     if (!(r.weight > 0) || !std::isfinite(r.weight)) {
       bad_rec = true;
       bad_rec_what << "session " << s << " has invalid weight " << r.weight;
+    }
+    if (const SessionHandle h = find(s); h.rec_ != &r) {
+      bad_rec = true;
+      bad_rec_what << "handle path for session " << s
+                   << " resolves to a different record than the id path";
     }
   });
   if (bad_rec) return fail("record: ", bad_rec_what.str());
@@ -276,6 +333,26 @@ std::string LinkSessionTable::audit() const {
        std::fabs(be() - naive_be) >
            1e-9 * std::max(1.0, std::fabs(naive_be)))) {
     return fail("be() ", be(), " != naive ", naive_be);
+  }
+  return std::string();
+}
+
+std::string LinkSessionTable::audit_handle(SessionHandle h) const {
+  if (!h.valid()) return "null handle";
+  std::ostringstream err;
+  const SessionHandle fresh = find(h.id());
+  if (!fresh.valid()) {
+    err << "handle for session " << h.id()
+        << " which the table no longer contains";
+    return err.str();
+  }
+  if (h.epoch_ == recs_.epoch() && fresh.rec_ != h.rec_) {
+    // Same epoch means no slot can have moved, so a pointer mismatch is
+    // real desynchronization, not a pending (legal) revalidation.
+    err << "handle for session " << h.id()
+        << " desynced: same epoch but a fresh lookup resolves to a "
+        << "different record";
+    return err.str();
   }
   return std::string();
 }

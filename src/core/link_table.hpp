@@ -10,6 +10,22 @@
 // formula below reduces to the paper's unweighted pseudocode, bit for
 // bit.
 //
+// Access model (contract): the packet hot path is *handle-oriented*.  A
+// RouterLink handler resolves the packet's session exactly once —
+// find(s) -> SessionHandle — and every subsequent read (mu, lambda,
+// weight, hop, in_R, rate_of) and mutation (set_mu, set_weight,
+// set_idle_with_lambda, move_to_R/F, erase) takes the handle, costing
+// an epoch compare plus a direct record access instead of a repeated
+// hash probe.  A handle survives *any* table mutation that does not
+// erase its own session — including insert_R and erase of other
+// sessions: the record map (base/flat_hash.hpp) keeps values inline in
+// its probe array for single-cache-line lookups, advances an epoch
+// whenever slots may have moved, and every handle access revalidates
+// against that epoch, re-resolving (one probe) only when it actually
+// did.  The id-keyed methods remain as thin wrappers over the handle
+// path for tests, audits and cold callers; audit() cross-validates the
+// two paths.
+//
 // The pseudocode's predicates are set-level quantifications; this table
 // maintains two ordered indexes — (λ, s) over *idle Re* sessions and over
 // *Fe* sessions (core/rate_index.hpp, keyed by level) — plus running
@@ -21,6 +37,8 @@
 //   all_R_idle_at_be: ∀r∈Re, λ = Be ∧ µ = IDLE       (bottleneck detection)
 //   exists F λ ≥ Be, max/argmax over Fe              (ProcessNewRestricted)
 //   {r∈Re : IDLE ∧ λ > x} / {r∈Re : IDLE ∧ λ ≈ x}    (Update triggers)
+// The set-valued queries resolve their results into handles, so a
+// RouterLink kick batch mutates its victims without a single re-lookup.
 //
 // λes is only meaningful while s ∈ Fe, or s ∈ Re with µ = IDLE — exactly
 // the states in which the indexes track it.
@@ -30,7 +48,8 @@
 //     are levels in Mbps-per-unit-weight; weights are dimensionless > 0.
 //   * The aggregates and both indexes are kept exactly consistent with
 //     the record map by every mutation (audit() cross-checks this
-//     against a naive reconstruction).
+//     against a naive reconstruction, plus the map's own index<->slab
+//     audit and handle-vs-id read agreement).
 //   * Iteration order of the set-valued queries is (level ascending,
 //     session id ascending) — the simulation's determinism contract
 //     depends on it.
@@ -61,25 +80,100 @@ constexpr const char* mu_name(Mu m) {
 }
 
 class LinkSessionTable {
+ private:
+  struct Rec {
+    Mu mu = Mu::WaitingResponse;
+    Rate lambda = 0;       // level (rate / weight)
+    double weight = 1.0;   // max-min weight, > 0
+    bool in_r = true;
+    std::int32_t hop = 0;
+  };
+
  public:
+  /// A resolved session record: {record pointer, map epoch, session
+  /// id}.  Obtained from find()/insert_R(); accessors take it by
+  /// *reference* because access may refresh it: while the record map's
+  /// epoch is unchanged the cached pointer is exact and an access costs
+  /// one compare, and when slots moved (a rehash or an erase of any
+  /// session) the next access transparently re-resolves with a single
+  /// probe.  A handle therefore stays usable until *its own* session is
+  /// erased; using it past that point trips the revalidation EXPECT.
+  /// A null handle (find() miss) is valid()==false; passing one to any
+  /// accessor is a contract violation.
+  class SessionHandle {
+   public:
+    SessionHandle() = default;
+    [[nodiscard]] bool valid() const { return rec_ != nullptr; }
+    explicit operator bool() const { return valid(); }
+    [[nodiscard]] SessionId id() const { return s_; }
+    // No operator==: pointer equality would depend on revalidation
+    // history; compare id()s instead.
+
+   private:
+    friend class LinkSessionTable;
+    SessionHandle(Rec* rec, std::uint64_t epoch, SessionId s)
+        : rec_(rec), epoch_(epoch), s_(s) {}
+    Rec* rec_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    SessionId s_;
+  };
+
   explicit LinkSessionTable(Rate capacity);
 
   [[nodiscard]] Rate capacity() const { return capacity_; }
-  [[nodiscard]] bool contains(SessionId s) const { return recs_.contains(s); }
-  [[nodiscard]] bool in_R(SessionId s) const { return rec(s).in_r; }
-  [[nodiscard]] Mu mu(SessionId s) const { return rec(s).mu; }
-  /// Recorded level λes (weight-normalized rate) of s at this link.
-  [[nodiscard]] Rate lambda(SessionId s) const { return rec(s).lambda; }
-  /// Max-min weight of s as last announced by its Join/Probe packets.
-  [[nodiscard]] double weight(SessionId s) const { return rec(s).weight; }
-  /// Actual recorded rate of s: w_s · λes.
-  [[nodiscard]] Rate rate_of(SessionId s) const {
-    const Rec& r = rec(s);
+
+  /// THE hot-path lookup: resolves s to a handle (null if unknown).
+  /// One hash probe; everything else on the packet path reads and
+  /// mutates through the result.
+  [[nodiscard]] SessionHandle find(SessionId s) const {
+    auto& recs = const_cast<FlatIdMap<SessionTag, Rec>&>(recs_);
+    return SessionHandle{recs.find(s), recs_.epoch(), s};
+  }
+
+  // ---- handle-keyed reads (the packet path) ----
+
+  [[nodiscard]] bool in_R(SessionHandle& h) const { return rec(h).in_r; }
+  [[nodiscard]] Mu mu(SessionHandle& h) const { return rec(h).mu; }
+  /// Recorded level λes (weight-normalized rate) at this link.
+  [[nodiscard]] Rate lambda(SessionHandle& h) const { return rec(h).lambda; }
+  /// Max-min weight as last announced by the session's Join/Probe.
+  [[nodiscard]] double weight(SessionHandle& h) const { return rec(h).weight; }
+  /// Actual recorded rate: w_s · λes.
+  [[nodiscard]] Rate rate_of(SessionHandle& h) const {
+    const Rec& r = rec(h);
     return r.weight * r.lambda;
   }
   /// Hop index of this link in the session's path (recorded on insert so
   /// the link can originate upstream packets for the session).
-  [[nodiscard]] std::int32_t hop(SessionId s) const { return rec(s).hop; }
+  [[nodiscard]] std::int32_t hop(SessionHandle& h) const { return rec(h).hop; }
+
+  // ---- id-keyed reads (thin wrappers for tests/audit/cold paths) ----
+
+  [[nodiscard]] bool contains(SessionId s) const { return recs_.contains(s); }
+  [[nodiscard]] bool in_R(SessionId s) const {
+    SessionHandle h = checked(s);
+    return in_R(h);
+  }
+  [[nodiscard]] Mu mu(SessionId s) const {
+    SessionHandle h = checked(s);
+    return mu(h);
+  }
+  [[nodiscard]] Rate lambda(SessionId s) const {
+    SessionHandle h = checked(s);
+    return lambda(h);
+  }
+  [[nodiscard]] double weight(SessionId s) const {
+    SessionHandle h = checked(s);
+    return weight(h);
+  }
+  [[nodiscard]] Rate rate_of(SessionId s) const {
+    SessionHandle h = checked(s);
+    return rate_of(h);
+  }
+  [[nodiscard]] std::int32_t hop(SessionId s) const {
+    SessionHandle h = checked(s);
+    return hop(h);
+  }
 
   [[nodiscard]] std::size_t size() const { return recs_.size(); }
   [[nodiscard]] std::size_t r_size() const { return r_count_; }
@@ -95,28 +189,56 @@ class LinkSessionTable {
   }
 
   // ---- mutations (all keep the indexes and aggregates consistent) ----
+  // The handle overloads are the implementations; the id overloads
+  // resolve once and forward.
 
   /// Join: Re ← Re ∪ {s} with µ = WAITING_RESPONSE and weight w.
-  void insert_R(SessionId s, std::int32_t hop, double weight = 1.0);
+  /// Returns the new session's handle.
+  SessionHandle insert_R(SessionId s, std::int32_t hop, double weight = 1.0);
 
   /// Re-announced weight from a Probe (API.Change may retune it).  No-op
   /// when unchanged; otherwise adjusts the aggregates (the λ key — a
   /// level — is untouched: the in-flight probe cycle re-establishes it).
-  void set_weight(SessionId s, double weight);
+  void set_weight(SessionHandle& h, double weight);
+  void set_weight(SessionId s, double weight) {
+    SessionHandle h = checked(s);
+    set_weight(h, weight);
+  }
 
-  /// Leave: removes s from whichever set holds it.
-  void erase(SessionId s);
+  /// Leave: removes the session from whichever set holds it.  The
+  /// handle (and any copy of it) is dead afterwards.
+  void erase(SessionHandle& h);
+  void erase(SessionId s) {
+    SessionHandle h = checked(s);
+    erase(h);
+  }
 
-  /// Fe → Re, preserving µ and λ.  No-op precondition: s ∈ Fe.
-  void move_to_R(SessionId s);
+  /// Fe → Re, preserving µ and λ.  Requires s ∈ Fe.
+  void move_to_R(SessionHandle& h);
+  void move_to_R(SessionId s) {
+    SessionHandle h = checked(s);
+    move_to_R(h);
+  }
 
   /// Re → Fe, preserving µ and λ.  Requires s ∈ Re.
-  void move_to_F(SessionId s);
+  void move_to_F(SessionHandle& h);
+  void move_to_F(SessionId s) {
+    SessionHandle h = checked(s);
+    move_to_F(h);
+  }
 
-  void set_mu(SessionId s, Mu m);
+  void set_mu(SessionHandle& h, Mu m);
+  void set_mu(SessionId s, Mu m) {
+    SessionHandle h = checked(s);
+    set_mu(h, m);
+  }
 
   /// Response accepted: λes ← λ (a level) and µ ← IDLE in one step.
-  void set_idle_with_lambda(SessionId s, Rate lambda);
+  void set_idle_with_lambda(SessionHandle& h, Rate lambda);
+  void set_idle_with_lambda(SessionId s, Rate lambda) {
+    SessionHandle h = checked(s);
+    set_idle_with_lambda(h, lambda);
+  }
 
   // ---- protocol predicates ----
 
@@ -131,10 +253,12 @@ class LinkSessionTable {
 
   // The set-valued queries fill a caller-provided vector (cleared first)
   // so per-packet callers can reuse one scratch buffer instead of
-  // allocating a result vector per packet; the returning overloads are
-  // conveniences for tests and cold paths.
+  // allocating a result vector per packet.  The handle-filling overloads
+  // are the hot path (each result is resolved exactly once, inside the
+  // query); the id overloads are conveniences for tests and cold paths.
 
   /// {s ∈ Fe : λ ≈ value}.
+  void F_at(Rate value, std::vector<SessionHandle>& out) const;
   void F_at(Rate value, std::vector<SessionId>& out) const;
   [[nodiscard]] std::vector<SessionId> F_at(Rate value) const {
     std::vector<SessionId> out;
@@ -143,6 +267,7 @@ class LinkSessionTable {
   }
 
   /// {s ∈ Re : µ = IDLE ∧ λ > threshold} (strictly, beyond tolerance).
+  void idle_R_above(Rate threshold, std::vector<SessionHandle>& out) const;
   void idle_R_above(Rate threshold, std::vector<SessionId>& out) const;
   [[nodiscard]] std::vector<SessionId> idle_R_above(Rate threshold) const {
     std::vector<SessionId> out;
@@ -151,6 +276,8 @@ class LinkSessionTable {
   }
 
   /// {s ∈ Re \ {exclude} : µ = IDLE ∧ λ ≈ value}.
+  void idle_R_at(Rate value, SessionId exclude,
+                 std::vector<SessionHandle>& out) const;
   void idle_R_at(Rate value, SessionId exclude,
                  std::vector<SessionId>& out) const;
   [[nodiscard]] std::vector<SessionId> idle_R_at(
@@ -162,6 +289,7 @@ class LinkSessionTable {
 
   /// All sessions of Re except `exclude`.  Intended for the bottleneck
   /// broadcast, where all of Re is idle; returns them in rate order.
+  void idle_R_all(SessionId exclude, std::vector<SessionHandle>& out) const;
   void idle_R_all(SessionId exclude, std::vector<SessionId>& out) const;
   [[nodiscard]] std::vector<SessionId> idle_R_all(
       SessionId exclude = SessionId{}) const {
@@ -177,11 +305,19 @@ class LinkSessionTable {
   /// Full internal-consistency audit against a naive reconstruction from
   /// the record map: the |Re|, Σ_{Re} w and Σ_{Fe} w·λ aggregates, weight
   /// validity, membership and λ keys of both ordered indexes (idle-Re and
-  /// Fe), index ordering, and be().
+  /// Fe), index ordering, be(), the record map's own probe-chain
+  /// reachability audit, and agreement of the handle path with the id
+  /// path (a fresh find() must resolve every iterated record to itself).
   /// Returns an empty string when consistent, else a description of the
   /// first violation.  O(n log n); intended for the property harness
   /// (src/check/), not for per-packet paths.
   [[nodiscard]] std::string audit() const;
+
+  /// Validates one outstanding handle against a fresh id-path lookup:
+  /// empty when the handle still resolves to the same record, else a
+  /// description (null handle, unknown session, or a desynced pointer —
+  /// e.g. a handle held across the erase of its session).
+  [[nodiscard]] std::string audit_handle(SessionHandle h) const;
 
   /// Iterates (session, in_r, mu, lambda-level) for diagnostics/tests.
   template <class Fn>
@@ -191,29 +327,54 @@ class LinkSessionTable {
   }
 
  private:
-  struct Rec {
-    Mu mu = Mu::WaitingResponse;
-    Rate lambda = 0;       // level (rate / weight)
-    double weight = 1.0;   // max-min weight, > 0
-    bool in_r = true;
-    std::int32_t hop = 0;
-  };
   using Index = RateIndex;
 
-  // Hot per-packet accessors, inline on purpose.
-  const Rec& rec(SessionId s) const {
-    const Rec* r = recs_.find(s);
-    BNECK_EXPECT(r != nullptr, "unknown session at link");
-    return *r;
+  /// Handle deref: while the record map's epoch is unchanged the cached
+  /// pointer is exact (one compare); when slots moved, re-resolve with
+  /// one probe and refresh the caller's handle in place.  The EXPECT
+  /// catches both a find() miss used as a handle and a handle used past
+  /// the erase of its own session.  A null handle is never revalidated:
+  /// it must throw even if its session id was inserted in the meantime.
+  const Rec& rec(SessionHandle& h) const {
+    if (h.rec_ != nullptr && h.epoch_ != recs_.epoch()) {
+      auto& recs = const_cast<FlatIdMap<SessionTag, Rec>&>(recs_);
+      h.rec_ = recs.find(h.s_);
+      h.epoch_ = recs_.epoch();
+    }
+    BNECK_EXPECT(h.rec_ != nullptr, "null or stale session handle");
+    return *h.rec_;
   }
-  Rec& rec(SessionId s) {
-    Rec* r = recs_.find(s);
-    BNECK_EXPECT(r != nullptr, "unknown session at link");
-    return *r;
+  Rec& rec_mut(SessionHandle& h) { return const_cast<Rec&>(rec(h)); }
+
+  // Shared bodies of the set-valued queries: `Out` is either a
+  // SessionId vector (tests/audit) or a SessionHandle vector (packet
+  // path) — emit() resolves in the handle case, so the two public
+  // overload families cannot drift apart.
+  void emit(SessionId s, std::vector<SessionId>& out) const {
+    out.push_back(s);
+  }
+  void emit(SessionId s, std::vector<SessionHandle>& out) const {
+    out.push_back(checked(s));
+  }
+  template <class Out>
+  void F_at_impl(Rate value, Out& out) const;
+  template <class Out>
+  void idle_R_above_impl(Rate threshold, Out& out) const;
+  template <class Out>
+  void idle_R_at_impl(Rate value, SessionId exclude, Out& out) const;
+  template <class Out>
+  void idle_R_all_impl(SessionId exclude, Out& out) const;
+
+  /// Id-path resolution for the wrapper methods: one probe, must hit.
+  [[nodiscard]] SessionHandle checked(SessionId s) const {
+    SessionHandle h = find(s);
+    BNECK_EXPECT(h.valid(), "unknown session at link");
+    return h;
   }
 
   Rate capacity_;
-  // One lookup per packet per hop: the open-addressing map is the hot
+  // One lookup per packet per hop resolves into a handle; subsequent
+  // accesses ride the epoch check.  The open-addressing map is the hot
   // container of the whole simulation (see base/flat_hash.hpp).
   FlatIdMap<SessionTag, Rec> recs_;
   Index idle_r_;  // (λ, s) for s ∈ Re with µ = IDLE (λ is a level)

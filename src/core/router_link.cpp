@@ -2,17 +2,17 @@
 
 namespace bneck::core {
 
-void RouterLink::kick(SessionId s) {
-  table_.set_mu(s, Mu::WaitingProbe);
+void RouterLink::kick(SessionHandle& h) {
+  table_.set_mu(h, Mu::WaitingProbe);
   Packet u;
   u.type = PacketType::Update;
-  u.session = s;
-  transport_.send_upstream(u, table_.hop(s));
+  u.session = h.id();
+  transport_.send_upstream(u, table_.hop(h));
 }
 
-void RouterLink::kick_batch(const std::vector<SessionId>& batch) {
-  for (const SessionId s : batch) {
-    kick(s);
+void RouterLink::kick_batch(std::vector<SessionHandle>& batch) {
+  for (SessionHandle& h : batch) {
+    kick(h);
     if (fault_single_kick_) break;  // harness-validation mutation
   }
 }
@@ -21,7 +21,7 @@ void RouterLink::process_new_restricted() {
   // while ∃s ∈ Fe : λes ≥ Be — move the maximal-rate Fe sessions to Re.
   while (table_.f_size() > 0 && table_.exists_F_ge_be()) {
     table_.F_at(table_.max_F_lambda(), scratch_);
-    for (const SessionId r : scratch_) {
+    for (SessionHandle& r : scratch_) {
       table_.move_to_R(r);
     }
   }
@@ -44,21 +44,23 @@ void RouterLink::on_join(const Packet& p, std::int32_t hop) {
 
 void RouterLink::on_probe(const Packet& p, std::int32_t hop) {
   // A Probe can only follow the session's Join on the same FIFO path, so
-  // the session is known here.  The probe re-announces the weight;
-  // API.Change may have retuned it, which moves this link's Be — a case
-  // the paper's pseudocode (fixed weights) never faces.  Handle it like
-  // the other Be shifts: sessions idle at the pre-change Be may deserve
-  // more if Be rises (cf. Leave), and ProcessNewRestricted below
-  // re-probes whoever sits above the post-change Be if it falls.
-  const bool reweighted = table_.weight(p.session) != p.weight;
+  // the session is known here — `h` is live for the whole handler.  The
+  // probe re-announces the weight; API.Change may have retuned it, which
+  // moves this link's Be — a case the paper's pseudocode (fixed weights)
+  // never faces.  Handle it like the other Be shifts: sessions idle at
+  // the pre-change Be may deserve more if Be rises (cf. Leave), and
+  // ProcessNewRestricted below re-probes whoever sits above the
+  // post-change Be if it falls.
+  SessionHandle h = table_.find(p.session);
+  const bool reweighted = table_.weight(h) != p.weight;
   if (reweighted) {
     table_.idle_R_at(table_.be(), p.session, scratch_);
-    table_.set_weight(p.session, p.weight);
+    table_.set_weight(h, p.weight);
     kick_batch(scratch_);
   }
-  table_.set_mu(p.session, Mu::WaitingResponse);
-  if (!table_.in_R(p.session)) {
-    table_.move_to_R(p.session);
+  table_.set_mu(h, Mu::WaitingResponse);
+  if (!table_.in_R(h)) {
+    table_.move_to_R(h);
     process_new_restricted();
   } else if (reweighted) {
     process_new_restricted();
@@ -73,30 +75,31 @@ void RouterLink::on_probe(const Packet& p, std::int32_t hop) {
 }
 
 void RouterLink::on_response(const Packet& p, std::int32_t hop) {
-  if (!table_.contains(p.session)) return;  // session left; Leave overtook us
+  SessionHandle h = table_.find(p.session);
+  if (!h.valid()) return;  // session left; Leave overtook us
   Packet q = p;
   if (q.tag == ResponseTag::Update) {
-    table_.set_mu(q.session, Mu::WaitingProbe);
+    table_.set_mu(h, Mu::WaitingProbe);
   } else {
     const Rate be = table_.be();
     const bool restricting_here = q.eta == id_;
     if ((restricting_here && rate_eq(q.lambda, be)) ||
         (!restricting_here && rate_le(q.lambda, be))) {
-      table_.set_idle_with_lambda(q.session, q.lambda);
+      table_.set_idle_with_lambda(h, q.lambda);
     } else {
       // (η = e ∧ λ < Be) ∨ (λ > Be): the link's conditions moved while
       // the probe was in flight; the cycle's result is stale.
       q.tag = ResponseTag::Update;
-      table_.set_mu(q.session, Mu::WaitingProbe);
+      table_.set_mu(h, Mu::WaitingProbe);
     }
     if (table_.all_R_idle_at_be()) {
       q.tag = ResponseTag::Bottleneck;
       q.eta = id_;
       table_.idle_R_all(q.session, scratch_);
-      for (const SessionId r : scratch_) {
+      for (SessionHandle& r : scratch_) {
         Packet b;
         b.type = PacketType::Bottleneck;
-        b.session = r;
+        b.session = r.id();
         transport_.send_upstream(b, table_.hop(r));
       }
     }
@@ -105,39 +108,40 @@ void RouterLink::on_response(const Packet& p, std::int32_t hop) {
 }
 
 void RouterLink::on_update(const Packet& p, std::int32_t hop) {
-  if (!table_.contains(p.session)) return;
-  if (table_.mu(p.session) == Mu::Idle) {
-    table_.set_mu(p.session, Mu::WaitingProbe);
+  SessionHandle h = table_.find(p.session);
+  if (!h.valid()) return;
+  if (table_.mu(h) == Mu::Idle) {
+    table_.set_mu(h, Mu::WaitingProbe);
     transport_.send_upstream(p, hop);
   }
 }
 
 void RouterLink::on_bottleneck(const Packet& p, std::int32_t hop) {
-  if (!table_.contains(p.session)) return;
-  if (table_.mu(p.session) == Mu::Idle && table_.in_R(p.session)) {
+  SessionHandle h = table_.find(p.session);
+  if (!h.valid()) return;
+  if (table_.mu(h) == Mu::Idle && table_.in_R(h)) {
     transport_.send_upstream(p, hop);
   }
 }
 
 void RouterLink::on_set_bottleneck(const Packet& p, std::int32_t hop) {
-  if (!table_.contains(p.session)) return;
+  SessionHandle h = table_.find(p.session);
+  if (!h.valid()) return;
   const Rate be = table_.be();
   if (table_.all_R_idle_at_be()) {
     // This link is itself a (stable) bottleneck: certify the path.
     Packet q = p;
     q.beta = true;
     transport_.send_downstream(q, hop);
-  } else if (table_.mu(p.session) == Mu::Idle &&
-             rate_lt(table_.lambda(p.session), be)) {
+  } else if (table_.mu(h) == Mu::Idle && rate_lt(table_.lambda(h), be)) {
     // The session is restricted elsewhere: move it to Fe.  Idle sessions
     // pinned at the current Be gain headroom from the move, so re-probe
     // them (computed before the move, as in the pseudocode).
     table_.idle_R_at(be, p.session, scratch_);
     kick_batch(scratch_);
-    table_.move_to_F(p.session);
+    table_.move_to_F(h);
     transport_.send_downstream(p, hop);
-  } else if (table_.mu(p.session) == Mu::Idle &&
-             rate_eq(table_.lambda(p.session), be)) {
+  } else if (table_.mu(h) == Mu::Idle && rate_eq(table_.lambda(h), be)) {
     transport_.send_downstream(p, hop);
   }
   // Otherwise the packet is absorbed: the session is already marked for a
@@ -146,9 +150,12 @@ void RouterLink::on_set_bottleneck(const Packet& p, std::int32_t hop) {
 
 void RouterLink::on_leave(const Packet& p, std::int32_t hop) {
   // R' is computed against Be *before* the departure; the departure can
-  // only raise Be, so these sessions may deserve more bandwidth.
+  // only raise Be, so these sessions may deserve more bandwidth.  The
+  // erase kills only the leaver's handle — the batch handles survive it
+  // (they revalidate against the record map's epoch on next use).
+  SessionHandle h = table_.find(p.session);
   table_.idle_R_at(table_.be(), p.session, scratch_);
-  table_.erase(p.session);
+  table_.erase(h);
   kick_batch(scratch_);
   transport_.send_downstream(p, hop);
 }

@@ -6,6 +6,17 @@
 // (all Re sessions idle at level Be) and originates Update/Bottleneck
 // packets when convergence conditions change.
 //
+// Dispatch contract (handle-oriented): each handler resolves the
+// packet's session in its link table exactly once —
+// LinkSessionTable::find() — and threads the resulting SessionHandle
+// through every predicate, mutation and helper (ProcessNewRestricted,
+// kick batches).  The set-valued table queries return handles too, so a
+// kick batch re-probes its victims without further hash lookups (after
+// an erase, at most one re-probe per handle: handles revalidate against
+// the record map's epoch).  Handles stay usable for the whole handler
+// run; the only mutation that kills one is the erase of its own session
+// (on_leave).
+//
 // All rate arithmetic happens in weight-normalized *level* space (λ/w;
 // see link_table.hpp): the handlers below are literally the paper's
 // pseudocode with "rate" read as "level", and with unit weights the two
@@ -14,7 +25,9 @@
 //
 // The task is transport-agnostic: it emits packets through the Transport
 // interface, which the protocol binding (bneck.hpp) implements on top of
-// the discrete-event simulator.
+// the discrete-event simulator.  Tasks are arena-allocated by the
+// protocol (base/slab.hpp) and must stay address-stable: RouterLink is
+// deliberately non-copyable and non-movable.
 #pragma once
 
 #include <vector>
@@ -36,6 +49,8 @@ class Transport {
 
 class RouterLink {
  public:
+  using SessionHandle = LinkSessionTable::SessionHandle;
+
   /// `fault_single_kick` enables the documented harness-validation
   /// mutation (BneckConfig::fault_single_kick): kick batches re-probe
   /// only their first session.
@@ -54,6 +69,7 @@ class RouterLink {
   [[nodiscard]] bool stable() const { return table_.stable(); }
 
   // Packet handlers; `hop` is this link's hop index in p.session's path.
+  // Each resolves p.session to a handle once, up front.
   void on_join(const Packet& p, std::int32_t hop);
   void on_probe(const Packet& p, std::int32_t hop);
   void on_response(const Packet& p, std::int32_t hop);
@@ -68,22 +84,24 @@ class RouterLink {
   /// idle Re session whose rate now exceeds Be.
   void process_new_restricted();
 
-  /// Emits Update(s) upstream from this link and marks s WAITING_PROBE.
-  void kick(SessionId s);
+  /// Emits Update upstream from this link and marks the session
+  /// WAITING_PROBE — all through the already-resolved handle.
+  void kick(SessionHandle& h);
 
   /// kick() for every session in `batch` — or only the first when the
   /// fault_single_kick mutation is armed.
-  void kick_batch(const std::vector<SessionId>& batch);
+  void kick_batch(std::vector<SessionHandle>& batch);
 
   LinkId id_;
   LinkSessionTable table_;
   Transport& transport_;
   bool fault_single_kick_;
-  // Reused buffer for the table's set-valued queries; the handlers never
-  // overlap two live query results, and packet handling is synchronous
-  // (emitted packets are delivered by later simulator events), so one
-  // buffer per link suffices and saves an allocation per query.
-  std::vector<SessionId> scratch_;
+  // Reused buffer for the table's set-valued queries (pre-resolved
+  // handles); the handlers never overlap two live query results, and
+  // packet handling is synchronous (emitted packets are delivered by
+  // later simulator events), so one buffer per link suffices and saves
+  // an allocation per query.
+  std::vector<SessionHandle> scratch_;
 };
 
 }  // namespace bneck::core

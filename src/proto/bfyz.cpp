@@ -40,9 +40,9 @@ void Bfyz::on_forward(LinkId link, Session& session, Cell& cell) {
 
 void Bfyz::on_backward(LinkId link, Session& session, Cell& cell) {
   LinkState& st = state(link);
-  const auto it = st.recorded.find(cell.s);
-  if (it == st.recorded.end()) return;  // left in the meantime
-  it->second = Recorded{cell.field, session.weight};
+  Recorded* rec = st.recorded.find(cell.s);
+  if (rec == nullptr) return;  // left in the meantime
+  *rec = Recorded{cell.field, session.weight};
   st.dirty = true;
 }
 
@@ -71,20 +71,22 @@ void Bfyz::recompute(LinkState& st) const {
   };
   std::vector<Entry> entries;
   entries.reserve(n);
-  double weight_total = 0;
-  for (const auto& [s, r] : st.recorded) {
+  st.recorded.for_each([&entries](SessionId, const Recorded& r) {
     const double rate = r.rate.value_or(kRateInfinity);
     entries.push_back(Entry{rate / r.weight, rate, r.weight});
-    weight_total += r.weight;
-  }
+  });
   // Full-tuple sort: entries with equal levels but different (rate,
   // weight) must still be scanned in a deterministic order regardless of
-  // the unordered_map's iteration order.
+  // the map's iteration order.  The weight sum is accumulated *after*
+  // the sort for the same reason: its floating-point rounding must not
+  // depend on container iteration order either.
   std::sort(entries.begin(), entries.end(), [](const Entry& x, const Entry& y) {
     if (x.level != y.level) return x.level < y.level;
     if (x.rate != y.rate) return x.rate < y.rate;
     return x.weight < y.weight;
   });
+  double weight_total = 0;
+  for (const Entry& e : entries) weight_total += e.weight;
   // Scan k = number of marked (restricted-elsewhere) sessions, smallest
   // level first: A_k = (C - prefix_k) / w_suffix_k; grow k while the next
   // session's level is still below its offer.

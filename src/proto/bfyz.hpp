@@ -23,8 +23,8 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 
+#include "base/flat_hash.hpp"
 #include "proto/cell_base.hpp"
 
 namespace bneck::proto {
@@ -58,7 +58,7 @@ class Bfyz final : public CellProtocolBase {
   struct LinkState {
     Rate capacity = 0;
     Rate advertised = 0;  // per-unit-weight share (level)
-    std::unordered_map<SessionId, Recorded> recorded;
+    FlatIdMap<SessionTag, Recorded> recorded;
     bool dirty = false;
   };
 

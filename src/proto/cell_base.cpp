@@ -18,47 +18,44 @@ CellProtocolBase::CellProtocolBase(sim::Simulator& simulator,
 
 void CellProtocolBase::join(SessionId s, net::Path path, Rate demand,
                             double weight) {
-  BNECK_EXPECT(sessions_.find(s) == sessions_.end(),
-               "session ids are single-use");
+  BNECK_EXPECT(!sessions_.contains(s), "session ids are single-use");
   BNECK_EXPECT(weight > 0 && std::isfinite(weight),
                "session weight must be positive and finite");
   BNECK_EXPECT(path.links.size() >= 2, "path needs access links at both ends");
-  auto& sess = sessions_[s];
+  Session& sess = sessions_[s];
   sess.path = std::move(path);
   sess.demand = demand;
   sess.weight = weight;
   sess.rate = 0;
   sess.active = true;
-  send_cell(s);
+  send_cell(s, sess);
   cell_tick(s);
 }
 
 void CellProtocolBase::leave(SessionId s) {
-  const auto it = sessions_.find(s);
-  BNECK_EXPECT(it != sessions_.end() && it->second.active,
-               "leave of inactive session");
-  it->second.active = false;
-  it->second.rate = 0;
-  for (const LinkId e : it->second.path.links) on_leave_link(e, s);
+  Session* sess = sessions_.find(s);
+  BNECK_EXPECT(sess != nullptr && sess->active, "leave of inactive session");
+  sess->active = false;
+  sess->rate = 0;
+  for (const LinkId e : sess->path.links) on_leave_link(e, s);
 }
 
 void CellProtocolBase::change(SessionId s, Rate demand) {
-  const auto it = sessions_.find(s);
-  BNECK_EXPECT(it != sessions_.end() && it->second.active,
-               "change of inactive session");
-  it->second.demand = demand;  // next cells carry the new request
+  Session* sess = sessions_.find(s);
+  BNECK_EXPECT(sess != nullptr && sess->active, "change of inactive session");
+  sess->demand = demand;  // next cells carry the new request
 }
 
 Rate CellProtocolBase::current_rate(SessionId s) const {
-  const auto it = sessions_.find(s);
-  return it != sessions_.end() && it->second.active ? it->second.rate : 0.0;
+  const Session* sess = sessions_.find(s);
+  return sess != nullptr && sess->active ? sess->rate : 0.0;
 }
 
 std::vector<core::SessionSpec> CellProtocolBase::active_specs() const {
   std::vector<core::SessionSpec> specs;
-  for (const auto& [s, sess] : sessions_) {
+  sessions_.for_each([&specs](SessionId s, const Session& sess) {
     if (sess.active) specs.push_back({s, sess.path, sess.demand, sess.weight});
-  }
+  });
   std::sort(specs.begin(), specs.end(),
             [](const auto& a, const auto& b) { return a.id < b.id; });
   return specs;
@@ -87,26 +84,24 @@ void CellProtocolBase::cell_tick(SessionId s) {
   // Per-session periodic cell clock; dies with the session or shutdown.
   sim_.schedule_in(cfg_.cell_period, [this, s] {
     if (!running_) return;
-    const auto it = sessions_.find(s);
-    if (it == sessions_.end() || !it->second.active) return;
-    send_cell(s);
+    Session* sess = sessions_.find(s);
+    if (sess == nullptr || !sess->active) return;
+    send_cell(s, *sess);
     cell_tick(s);
   });
 }
 
-void CellProtocolBase::send_cell(SessionId s) {
-  auto& sess = sessions_.at(s);
+void CellProtocolBase::send_cell(SessionId s, Session& sess) {
   Cell cell;
   cell.s = s;
   cell.field = sess.demand;
   cell.declared = sess.rate;
   cell.hop = 0;
   cell.forward = true;
-  forward_cell(std::move(cell));
+  forward_cell(sess, std::move(cell));
 }
 
-void CellProtocolBase::forward_cell(Cell cell) {
-  auto& sess = sessions_.at(cell.s);
+void CellProtocolBase::forward_cell(Session& sess, Cell cell) {
   on_forward(sess.path.links[static_cast<std::size_t>(cell.hop)], sess, cell);
   const LinkId physical =
       sess.path.links[static_cast<std::size_t>(cell.hop)];
@@ -126,10 +121,9 @@ void CellProtocolBase::transmit(Cell cell, LinkId physical) {
   sim_.schedule_delivery_at(arrival, *this, cell);
 }
 
-void CellProtocolBase::move_backward(Cell cell) {
+void CellProtocolBase::move_backward(Session& sess, Cell cell) {
   // From node position `hop` to position hop-1, crossing the reverse of
   // the forward link between them.
-  auto& sess = sessions_.at(cell.s);
   const LinkId fwd_link =
       sess.path.links[static_cast<std::size_t>(cell.hop - 1)];
   --cell.hop;
@@ -137,19 +131,22 @@ void CellProtocolBase::move_backward(Cell cell) {
 }
 
 void CellProtocolBase::deliver(Cell cell) {
-  const auto it = sessions_.find(cell.s);
-  if (it == sessions_.end() || !it->second.active) return;  // session left
-  Session& sess = it->second;
+  // Resolve once; the helpers below all work on the resolved reference
+  // (safe across the whole delivery: this protocol never erases session
+  // records — departed sessions stay as inactive tombstones).
+  Session* found = sessions_.find(cell.s);
+  if (found == nullptr || !found->active) return;  // session left
+  Session& sess = *found;
   const auto path_len = static_cast<std::int32_t>(sess.path.links.size());
 
   if (cell.forward) {
     if (cell.hop < path_len) {
-      forward_cell(std::move(cell));
+      forward_cell(sess, std::move(cell));
       return;
     }
     // Destination: echo the cell back.
     cell.forward = false;
-    move_backward(std::move(cell));
+    move_backward(sess, std::move(cell));
     return;
   }
   // Backward cell just crossed the reverse of path link `hop`.
@@ -158,7 +155,7 @@ void CellProtocolBase::deliver(Cell cell) {
     sess.rate = on_source_return(sess, cell);
     return;
   }
-  move_backward(std::move(cell));
+  move_backward(sess, std::move(cell));
 }
 
 }  // namespace bneck::proto

@@ -20,10 +20,10 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "base/expect.hpp"
+#include "base/flat_hash.hpp"
 #include "net/network.hpp"
 #include "proto/protocol.hpp"
 #include "sim/simulator.hpp"
@@ -101,10 +101,14 @@ class CellProtocolBase
   void schedule_periodic(TimeNs period, std::function<void()> fn);
 
  private:
-  void send_cell(SessionId s);
+  // Mirrors the handle model of the B-Neck hot path (core/link_table):
+  // deliver() resolves the cell's session exactly once and threads the
+  // Session& through the forwarding helpers and subclass hooks instead
+  // of re-hashing the id at every hop crossing.
+  void send_cell(SessionId s, Session& sess);
   void cell_tick(SessionId s);
-  void forward_cell(Cell cell);
-  void move_backward(Cell cell);
+  void forward_cell(Session& sess, Cell cell);
+  void move_backward(Session& sess, Cell cell);
   void transmit(Cell cell, LinkId physical);
   void deliver(Cell cell);
   void on_delivery(const Cell& cell) { deliver(cell); }
@@ -112,7 +116,7 @@ class CellProtocolBase
   sim::Simulator& sim_;
   const net::Network& net_;
   CellConfig cfg_;
-  std::unordered_map<SessionId, Session> sessions_;
+  FlatIdMap<SessionTag, Session> sessions_;
   std::vector<sim::FifoChannel> channels_;
   std::vector<std::shared_ptr<std::function<void()>>> keepalive_;
   std::function<void(TimeNs)> packet_listener_;
