@@ -8,18 +8,27 @@ namespace bneck::core {
 BneckProtocol::BneckProtocol(sim::Simulator& simulator,
                              const net::Network& network, BneckConfig config,
                              TraceSink* trace)
-    : sim_(simulator),
-      net_(network),
+    : net_(network),
       cfg_(config),
       trace_(trace),
-      channels_(static_cast<std::size_t>(network.link_count())),
-      arq_slot_(static_cast<std::size_t>(network.link_count()), -1),
-      loss_rng_(config.loss_seed),
+      owned_transport_(std::make_unique<transport::SimTransport>(
+          simulator, network, config.wire())),
+      transport_(owned_transport_.get()),
       link_slot_(static_cast<std::size_t>(network.link_count()), -1),
       sources_in_use_(static_cast<std::size_t>(network.node_count()), 0) {
-  BNECK_EXPECT(cfg_.packet_bits > 0, "packet size must be positive");
-  BNECK_EXPECT(cfg_.loss_probability >= 0.0 && cfg_.loss_probability < 1.0,
-               "loss probability must be in [0,1)");
+  transport_->bind(*this);
+}
+
+BneckProtocol::BneckProtocol(transport::LinkTransport& transport,
+                             const net::Network& network, BneckConfig config,
+                             TraceSink* trace)
+    : net_(network),
+      cfg_(config),
+      trace_(trace),
+      transport_(&transport),
+      link_slot_(static_cast<std::size_t>(network.link_count()), -1),
+      sources_in_use_(static_cast<std::size_t>(network.node_count()), 0) {
+  transport_->bind(*this);
 }
 
 std::int32_t BneckProtocol::register_session(SessionId s) {
@@ -63,8 +72,9 @@ const RouterLink* BneckProtocol::router_link(LinkId e) const {
 
 void BneckProtocol::on_rate(SessionId s, Rate r) {
   runtime(s).notified = r;
-  if (trace_ != nullptr) trace_->on_rate_notified(sim_.now(), s, r);
-  if (rate_cb_) rate_cb_(s, r, sim_.now());
+  const TimeNs now = transport_->now();
+  if (trace_ != nullptr) trace_->on_rate_notified(now, s, r);
+  if (rate_cb_) rate_cb_(s, r, now);
 }
 
 void BneckProtocol::join(SessionId s, net::Path path, Rate demand,
@@ -172,57 +182,16 @@ bool BneckProtocol::all_tasks_stable() const {
   return true;
 }
 
-TimeNs BneckProtocol::tx_time(const net::Link& l) const {
-  return cfg_.control_tx_time(l);
-}
-
-ArqChannel& BneckProtocol::arq_channel_at(LinkId physical) {
-  std::int32_t& slot = arq_slot_[static_cast<std::size_t>(physical.value())];
-  if (slot < 0) {
-    const net::Link& l = net_.link(physical);
-    const net::Link& rev = net_.link(l.reverse);
-    ArqConfig acfg;
-    acfg.loss_probability = cfg_.loss_probability;
-    slot = static_cast<std::int32_t>(arq_arena_.size());
-    arq_arena_.emplace_back(
-        sim_, channels_[static_cast<std::size_t>(physical.value())],
-        channels_[static_cast<std::size_t>(l.reverse.value())], tx_time(l),
-        l.prop_delay, tx_time(rev), rev.prop_delay, acfg, loss_rng_.fork(),
-        [this](const Packet& p) { deliver(p); },
-        [this, physical](const Packet& p) {
-          ++packets_sent_;
-          last_packet_time_ = sim_.now();
-          if (trace_ != nullptr) trace_->on_packet_sent(sim_.now(), p, physical);
-        });
-  }
-  return arq_arena_[static_cast<std::size_t>(slot)];
-}
-
-std::uint64_t BneckProtocol::retransmissions() const {
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < arq_arena_.size(); ++i) {
-    total += arq_arena_[i].retransmissions();
-  }
-  return total;
+void BneckProtocol::on_wire(const Packet& p, LinkId physical) {
+  ++packets_sent_;
+  last_packet_time_ = transport_->now();
+  if (trace_ != nullptr) trace_->on_packet_sent(last_packet_time_, p, physical);
 }
 
 void BneckProtocol::transmit(Packet p, LinkId physical, std::int32_t to_hop) {
   p.hop = to_hop;
   ++packets_by_type_[static_cast<std::size_t>(p.type)];
-  if (cfg_.reliable_links) {
-    arq_channel_at(physical).send(p);
-    return;
-  }
-  const net::Link& l = net_.link(physical);
-  const TimeNs arrival = channels_[static_cast<std::size_t>(physical.value())]
-                             .transmit(sim_.now(), tx_time(l), l.prop_delay);
-  ++packets_sent_;
-  last_packet_time_ = sim_.now();
-  if (trace_ != nullptr) trace_->on_packet_sent(sim_.now(), p, physical);
-  if (cfg_.loss_probability > 0 && loss_rng_.chance(cfg_.loss_probability)) {
-    return;  // the paper's reliability assumption, violated on purpose
-  }
-  sim_.schedule_delivery_at(arrival, *this, p);
+  transport_->send(physical, p);
 }
 
 std::uint64_t BneckProtocol::probe_cycles(SessionId s) const {
@@ -254,7 +223,7 @@ void BneckProtocol::send_downstream(Packet p, std::int32_t from_hop) {
     // Shared-access extension: host-internal handoff from the source
     // task to the access link's RouterLink — no physical crossing.
     p.hop = 0;
-    sim_.schedule_delivery_in(0, *this, p);
+    transport_->local(p);
     return;
   }
   transmit(p, rt.path.links[static_cast<std::size_t>(from_hop)], from_hop + 1);
@@ -271,7 +240,7 @@ void BneckProtocol::send_upstream(Packet p, std::int32_t from_hop) {
     // the co-located source task directly.
     BNECK_EXPECT(cfg_.shared_access_links, "upstream from hop 0");
     p.hop = -1;
-    sim_.schedule_delivery_in(0, *this, p);
+    transport_->local(p);
     return;
   }
   const std::int32_t to_hop = from_hop - 1;

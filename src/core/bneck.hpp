@@ -2,9 +2,10 @@
 //
 // This is the library's main entry point.  It owns one RouterLink task
 // per directed link that carries sessions, one SourceNode per active
-// session, the (stateless) DestinationNode behaviour, and the transport:
-// packets cross FIFO links with transmission + propagation delay and are
-// dispatched to the task at the next hop.
+// session, the (stateless) DestinationNode behaviour, and the hop
+// routing: a task's emit resolves to a physical directed link, crosses
+// the wire through the transport seam (src/transport/ — the simulator
+// backend by default), and is dispatched to the task at the next hop.
 //
 // Typical use:
 //
@@ -39,7 +40,6 @@
 #include "base/flat_hash.hpp"
 #include "base/slab.hpp"
 
-#include "core/arq.hpp"
 #include "core/packet.hpp"
 #include "core/router_link.hpp"
 #include "core/session.hpp"
@@ -47,6 +47,8 @@
 #include "core/trace.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "transport/sim_transport.hpp"
+#include "transport/transport.hpp"
 
 namespace bneck::core {
 
@@ -73,23 +75,32 @@ struct BneckConfig {
   /// sessions (the paper assumes reliable links); combine with
   /// reliable_links to run B-Neck over lossy networks.
   double loss_probability = 0.0;
-  /// Runs every link through a go-back-N ARQ layer (core/arq.hpp):
+  /// Runs every link through a go-back-N ARQ layer (transport/arq.hpp):
   /// exactly-once in-order delivery over lossy links, still quiescent
   /// (no unacked data -> no timers, no traffic).
   bool reliable_links = false;
   /// Seed for the loss process (deterministic fault injection).
   std::uint64_t loss_seed = 0x10552024;
 
+  /// The wire-level slice of this config, in the shape the transport
+  /// backend consumes (transport::SimTransport).
+  [[nodiscard]] transport::WireConfig wire() const {
+    transport::WireConfig w;
+    w.packet_bits = packet_bits;
+    w.model_transmission = model_transmission;
+    w.reliable_links = reliable_links;
+    w.loss_probability = loss_probability;
+    w.loss_seed = loss_seed;
+    return w;
+  }
+
   /// Transmission time of one control packet on `l` under this config —
   /// THE definition of the simulation's store-and-forward timing, shared
   /// with external observers (the src/check/ harness derives quiescence
-  /// bounds from it; a private copy there would silently drift).
+  /// bounds from it; a private copy there would silently drift).  The
+  /// formula itself lives in transport::WireConfig.
   [[nodiscard]] TimeNs control_tx_time(const net::Link& l) const {
-    if (!model_transmission) return 0;
-    // bits / (capacity Mbps * 1e6 bit/s), expressed in nanoseconds.
-    return static_cast<TimeNs>(static_cast<double>(packet_bits) * 1000.0 /
-                                   l.capacity +
-                               0.5);
+    return wire().control_tx_time(l);
   }
 
   /// Protocol-level mutation for validating the property harness
@@ -104,14 +115,22 @@ struct BneckConfig {
   bool fault_single_kick = false;
 };
 
-class BneckProtocol final
-    : public Transport,
-      public sim::DeliveryHandlerOf<BneckProtocol, Packet> {
-  friend sim::DeliveryHandlerOf<BneckProtocol, Packet>;
-
+class BneckProtocol final : public Transport,
+                            public transport::TransportSink {
  public:
+  /// The simulator binding: constructs an owned transport::SimTransport
+  /// on `simulator` from the wire slice of `config` — the reference
+  /// configuration every test, bench and example uses.
   BneckProtocol(sim::Simulator& simulator, const net::Network& network,
                 BneckConfig config = {}, TraceSink* trace = nullptr);
+
+  /// Seam binding: runs the control plane over an externally owned
+  /// transport backend (which must outlive the protocol and not yet be
+  /// bound).  The wire-level fields of `config` (packet_bits, loss,
+  /// reliable_links) are ignored — they belong to the backend.
+  BneckProtocol(transport::LinkTransport& transport,
+                const net::Network& network, BneckConfig config = {},
+                TraceSink* trace = nullptr);
 
   // ---- API primitives (paper §II; weight is the weighted extension) ----
 
@@ -171,7 +190,9 @@ class BneckProtocol final
   [[nodiscard]] TimeNs last_packet_time() const { return last_packet_time_; }
 
   /// ARQ retransmissions performed (0 unless reliable_links and loss).
-  [[nodiscard]] std::uint64_t retransmissions() const;
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return transport_->retransmissions();
+  }
 
   /// Wire transmissions by packet type (indexed by core::PacketType).
   [[nodiscard]] const std::array<std::uint64_t, kPacketTypeCount>&
@@ -191,6 +212,10 @@ class BneckProtocol final
   // ---- Transport (used by the tasks; not part of the public API) ----
   void send_downstream(Packet p, std::int32_t from_hop) override;
   void send_upstream(Packet p, std::int32_t from_hop) override;
+
+  // ---- transport::TransportSink (driven by the wire backend) ----
+  void on_wire(const Packet& p, LinkId physical) override;
+  void on_packet(const Packet& p) override { deliver(p); }
 
  private:
   struct SessionRt {
@@ -221,31 +246,27 @@ class BneckProtocol final
   /// every forwarding hop, so the per-hop send costs no id lookup.
   SessionRt& runtime_for_send(SessionId s);
   RouterLink& router_link_at(LinkId e);
-  ArqChannel& arq_channel_at(LinkId physical);
   void transmit(Packet p, LinkId physical, std::int32_t to_hop);
   void deliver(const Packet& p);
-  void on_delivery(const Packet& p) { deliver(p); }
   void on_rate(SessionId s, Rate r);
-  [[nodiscard]] TimeNs tx_time(const net::Link& l) const;
 
-  sim::Simulator& sim_;
   const net::Network& net_;
   BneckConfig cfg_;
   TraceSink* trace_;
   RateCallback rate_cb_;
 
-  std::vector<sim::FifoChannel> channels_;  // per directed link
+  // The wire backend.  The simulator ctor owns a SimTransport here; the
+  // seam ctor leaves it null and points transport_ at the caller's.
+  std::unique_ptr<transport::SimTransport> owned_transport_;
+  transport::LinkTransport* transport_;
 
-  // Task storage: RouterLink / ArqChannel objects live in stable-address
-  // slab arenas (base/slab.hpp), constructed lazily in first-use order.
-  // A per-directed-link slot vector maps link id -> arena slot (-1 =
-  // never instantiated); in-process walks (stability checks,
-  // retransmission counts) iterate the dense arenas directly, and
-  // active_links_ gives external observers (active_links()) the same
-  // dense view with the link ids attached.
-  Slab<ArqChannel> arq_arena_;
-  std::vector<std::int32_t> arq_slot_;      // per directed link, -1 = none
-  Rng loss_rng_;
+  // Task storage: RouterLink objects live in a stable-address slab
+  // arena (base/slab.hpp), constructed lazily in first-use order.  A
+  // per-directed-link slot vector maps link id -> arena slot (-1 =
+  // never instantiated); in-process walks (stability checks) iterate
+  // the dense arena directly, and active_links_ gives external
+  // observers (active_links()) the same dense view with the link ids
+  // attached.
   Slab<RouterLink> link_arena_;
   std::vector<std::int32_t> link_slot_;     // per directed link, -1 = none
   std::vector<LinkId> active_links_;        // construction order

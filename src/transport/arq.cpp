@@ -1,8 +1,8 @@
-#include "core/arq.hpp"
+#include "transport/arq.hpp"
 
 #include <algorithm>
 
-namespace bneck::core {
+namespace bneck::transport {
 
 ArqChannel::ArqChannel(sim::Simulator& sim, sim::FifoChannel& data_channel,
                        sim::FifoChannel& ack_channel, TimeNs data_tx,
@@ -118,4 +118,4 @@ void ArqChannel::on_timeout(std::uint64_t generation) {
   arm_timer();
 }
 
-}  // namespace bneck::core
+}  // namespace bneck::transport

@@ -25,7 +25,9 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
-namespace bneck::core {
+namespace bneck::transport {
+
+using core::Packet;
 
 struct ArqConfig {
   /// Probability that any wire transmission (data or ack) is lost.
@@ -123,4 +125,4 @@ class ArqChannel {
   std::uint64_t losses_ = 0;
 };
 
-}  // namespace bneck::core
+}  // namespace bneck::transport

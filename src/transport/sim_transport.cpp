@@ -1,0 +1,73 @@
+#include "transport/sim_transport.hpp"
+
+#include "base/expect.hpp"
+
+namespace bneck::transport {
+
+SimTransport::SimTransport(sim::Simulator& sim, const net::Network& net,
+                           WireConfig cfg)
+    : sim_(sim),
+      net_(net),
+      cfg_(cfg),
+      channels_(static_cast<std::size_t>(net.link_count())),
+      arq_slot_(static_cast<std::size_t>(net.link_count()), -1),
+      loss_rng_(cfg.loss_seed) {
+  BNECK_EXPECT(cfg_.packet_bits > 0, "packet size must be positive");
+  BNECK_EXPECT(cfg_.loss_probability >= 0.0 && cfg_.loss_probability < 1.0,
+               "loss probability must be in [0,1)");
+}
+
+void SimTransport::bind(TransportSink& sink) {
+  BNECK_EXPECT(sink_ == nullptr, "transport already bound");
+  sink_ = &sink;
+}
+
+ArqChannel& SimTransport::arq_channel_at(LinkId physical) {
+  std::int32_t& slot = arq_slot_[static_cast<std::size_t>(physical.value())];
+  if (slot < 0) {
+    const net::Link& l = net_.link(physical);
+    const net::Link& rev = net_.link(l.reverse);
+    ArqConfig acfg;
+    acfg.loss_probability = cfg_.loss_probability;
+    slot = static_cast<std::int32_t>(arq_arena_.size());
+    TransportSink* sink = sink_;
+    arq_arena_.emplace_back(
+        sim_, channels_[static_cast<std::size_t>(physical.value())],
+        channels_[static_cast<std::size_t>(l.reverse.value())], tx_time(l),
+        l.prop_delay, tx_time(rev), rev.prop_delay, acfg, loss_rng_.fork(),
+        [sink](const Packet& p) { sink->on_packet(p); },
+        [sink, physical](const Packet& p) { sink->on_wire(p, physical); });
+  }
+  return arq_arena_[static_cast<std::size_t>(slot)];
+}
+
+std::uint64_t SimTransport::retransmissions() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < arq_arena_.size(); ++i) {
+    total += arq_arena_[i].retransmissions();
+  }
+  return total;
+}
+
+void SimTransport::send(LinkId physical, const core::Packet& p) {
+  BNECK_EXPECT(sink_ != nullptr, "transport not bound");
+  if (cfg_.reliable_links) {
+    arq_channel_at(physical).send(p);
+    return;
+  }
+  const net::Link& l = net_.link(physical);
+  const TimeNs arrival = channels_[static_cast<std::size_t>(physical.value())]
+                             .transmit(sim_.now(), tx_time(l), l.prop_delay);
+  sink_->on_wire(p, physical);
+  if (cfg_.loss_probability > 0 && loss_rng_.chance(cfg_.loss_probability)) {
+    return;  // the paper's reliability assumption, violated on purpose
+  }
+  sim_.schedule_delivery_at(arrival, *this, p);
+}
+
+void SimTransport::local(const core::Packet& p) {
+  BNECK_EXPECT(sink_ != nullptr, "transport not bound");
+  sim_.schedule_delivery_in(0, *this, p);
+}
+
+}  // namespace bneck::transport

@@ -1,0 +1,75 @@
+// The transport seam: how the protocol binding crosses a wire.
+//
+// Above this interface sits the control plane — core::BneckProtocol and
+// its tasks (RouterLink, SourceNode), which decide *what* to send and
+// to which hop.  Below it sits a backend that decides *how* a packet
+// crosses the physical directed link: the discrete-event simulator
+// (transport::SimTransport, the reference backend every figure bench
+// and golden trace runs on) or real nonblocking UDP sockets
+// (transport::UdpTransport, the backend behind the `bneckd` daemon).
+// The binding never touches sim::Simulator or a socket directly; it
+// talks to a LinkTransport and receives packets back through its
+// TransportSink.
+//
+// Contract:
+//   * send(physical, p) hands p — with p.hop already set to the
+//     receiving hop — to the wire of directed link `physical`.
+//     Delivery is asynchronous: the backend invokes sink.on_wire once
+//     per actual wire crossing (so ARQ retransmissions count) and
+//     sink.on_packet when the packet arrives at the far end.
+//   * local(p) is a host-internal handoff (shared-access mode): no
+//     wire, no delay, but still asynchronous — delivered after the
+//     current handler returns, preserving run-to-completion semantics.
+//   * now() is the backend's clock: simulated time for SimTransport,
+//     monotonic wall-clock nanoseconds for UdpTransport.  All protocol
+//     timestamps (traces, API.Rate callbacks) come from here.
+#pragma once
+
+#include <cstdint>
+
+#include "base/ids.hpp"
+#include "base/time.hpp"
+#include "core/packet.hpp"
+
+namespace bneck::transport {
+
+/// Receives packets back from a LinkTransport.
+class TransportSink {
+ public:
+  virtual ~TransportSink() = default;
+
+  /// `p` was handed to the wire of directed link `physical` — once per
+  /// physical transmission (ARQ retransmissions included).
+  virtual void on_wire(const core::Packet& p, LinkId physical) = 0;
+
+  /// `p` arrived at the far end of its link (or completed a local
+  /// handoff); p.hop addresses the receiving task.
+  virtual void on_packet(const core::Packet& p) = 0;
+};
+
+/// A wire backend.  Implementations: SimTransport (sim_transport.hpp),
+/// UdpTransport (udp.hpp).
+class LinkTransport {
+ public:
+  virtual ~LinkTransport() = default;
+
+  /// Must be called exactly once, before the first send; the sink must
+  /// outlive the transport.  (The binding constructs the transport
+  /// before itself, so the sink cannot be a constructor argument.)
+  virtual void bind(TransportSink& sink) = 0;
+
+  /// Hands `p` (hop already set) to directed link `physical`.
+  virtual void send(LinkId physical, const core::Packet& p) = 0;
+
+  /// Host-internal handoff: delivered to the sink at the current
+  /// instant, after the running handler returns.
+  virtual void local(const core::Packet& p) = 0;
+
+  /// The backend's clock, in nanoseconds.
+  [[nodiscard]] virtual TimeNs now() const = 0;
+
+  /// Link-layer retransmissions performed (ARQ backends only).
+  [[nodiscard]] virtual std::uint64_t retransmissions() const { return 0; }
+};
+
+}  // namespace bneck::transport

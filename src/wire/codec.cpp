@@ -1,0 +1,182 @@
+#include "wire/codec.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace bneck::wire {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) |
+         static_cast<std::uint32_t>(b[off + 1]) << 8 |
+         static_cast<std::uint32_t>(b[off + 2]) << 16 |
+         static_cast<std::uint32_t>(b[off + 3]) << 24;
+}
+
+std::int32_t get_i32(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::int32_t>(get_u32(b, off));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint64_t>(get_u32(b, off)) |
+         static_cast<std::uint64_t>(get_u32(b, off + 4)) << 32;
+}
+
+double get_f64(std::span<const std::uint8_t> b, std::size_t off) {
+  return std::bit_cast<double>(get_u64(b, off));
+}
+
+void put_header(std::vector<std::uint8_t>& out, FrameKind kind) {
+  put_u8(out, kMagic0);
+  put_u8(out, kMagic1);
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(kind));
+}
+
+DecodeResult err(const char* what) {
+  DecodeResult r;
+  r.error = what;
+  return r;
+}
+
+}  // namespace
+
+void encode_packet(const core::Packet& p, std::span<const LinkId> path,
+                   std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + kPacketFrameBytes + 4 * path.size());
+  put_header(out, FrameKind::Packet);
+  put_u8(out, static_cast<std::uint8_t>(p.type));
+  put_u8(out, static_cast<std::uint8_t>(p.tag));
+  put_u8(out, p.beta ? 1 : 0);
+  put_u8(out, 0);  // reserved
+  put_i32(out, p.session.value());
+  put_i32(out, p.eta.value());
+  put_i32(out, p.hop);
+  put_u32(out, static_cast<std::uint32_t>(path.size()));
+  put_f64(out, p.lambda);
+  put_f64(out, p.weight);
+  for (const LinkId e : path) put_i32(out, e.value());
+}
+
+void encode_status_request(std::vector<std::uint8_t>& out) {
+  put_header(out, FrameKind::StatusRequest);
+}
+
+void encode_status_reply(const StatusReply& status,
+                         std::vector<std::uint8_t>& out) {
+  put_header(out, FrameKind::StatusReply);
+  put_u8(out, status.stable ? 1 : 0);
+  put_u8(out, 0);
+  put_u8(out, 0);
+  put_u8(out, 0);
+  put_u32(out, status.active_sessions);
+  put_u64(out, status.packets_seen);
+}
+
+void encode_shutdown(std::vector<std::uint8_t>& out) {
+  put_header(out, FrameKind::Shutdown);
+}
+
+DecodeResult decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes) return err("frame shorter than header");
+  if (bytes[0] != kMagic0 || bytes[1] != kMagic1) return err("bad magic");
+  if (bytes[2] != kWireVersion) return err("unsupported wire version");
+  if (bytes[3] >= static_cast<std::uint8_t>(kFrameKindCount)) {
+    return err("unknown frame kind");
+  }
+  DecodeResult r;
+  r.frame.kind = static_cast<FrameKind>(bytes[3]);
+
+  switch (r.frame.kind) {
+    case FrameKind::StatusRequest:
+    case FrameKind::Shutdown:
+      if (bytes.size() != kHeaderBytes) return err("trailing bytes");
+      return r;
+
+    case FrameKind::StatusReply: {
+      if (bytes.size() != kStatusReplyBytes) {
+        return err("bad status-reply length");
+      }
+      if (bytes[4] > 1) return err("bad stable flag");
+      if (bytes[5] != 0 || bytes[6] != 0 || bytes[7] != 0) {
+        return err("nonzero reserved bytes");
+      }
+      r.frame.status.stable = bytes[4] == 1;
+      r.frame.status.active_sessions = get_u32(bytes, 8);
+      r.frame.status.packets_seen = get_u64(bytes, 12);
+      return r;
+    }
+
+    case FrameKind::Packet:
+      break;
+  }
+
+  if (bytes.size() < kPacketFrameBytes) return err("truncated packet frame");
+  if (bytes[4] >= static_cast<std::uint8_t>(core::kPacketTypeCount)) {
+    return err("packet type out of range");
+  }
+  if (bytes[5] > static_cast<std::uint8_t>(core::ResponseTag::Bottleneck)) {
+    return err("response tag out of range");
+  }
+  if ((bytes[6] & ~std::uint8_t{1}) != 0) return err("unknown flag bits");
+  if (bytes[7] != 0) return err("nonzero reserved byte");
+
+  core::Packet& p = r.frame.packet;
+  p.type = static_cast<core::PacketType>(bytes[4]);
+  p.tag = static_cast<core::ResponseTag>(bytes[5]);
+  p.beta = bytes[6] == 1;
+  p.session = SessionId{get_i32(bytes, 8)};
+  p.eta = LinkId{get_i32(bytes, 12)};
+  p.hop = get_i32(bytes, 16);
+  const std::uint32_t path_len = get_u32(bytes, 20);
+  p.lambda = get_f64(bytes, 24);
+  p.weight = get_f64(bytes, 32);
+
+  if (!p.session.valid()) return err("invalid session id");
+  if (p.eta.value() < -1) return err("invalid eta link id");
+  if (p.hop < -1 || p.hop > kMaxHop) return err("hop out of bounds");
+  if (std::isnan(p.lambda) || p.lambda < 0) return err("bad lambda");
+  if (!std::isfinite(p.weight) || p.weight <= 0) return err("bad weight");
+
+  if (path_len > 0 && p.type != core::PacketType::Join) {
+    return err("path suffix on a non-Join packet");
+  }
+  if (path_len > kMaxPathLinks) return err("path suffix too long");
+  if (bytes.size() != kPacketFrameBytes + 4 * std::size_t{path_len}) {
+    return err("frame length does not match path length");
+  }
+  r.frame.path.reserve(path_len);
+  for (std::uint32_t i = 0; i < path_len; ++i) {
+    const std::int32_t link = get_i32(bytes, kPacketFrameBytes + 4 * i);
+    if (link < 0) return err("invalid path link id");
+    r.frame.path.push_back(LinkId{link});
+  }
+  return r;
+}
+
+}  // namespace bneck::wire

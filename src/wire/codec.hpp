@@ -1,0 +1,126 @@
+// Wire format for B-Neck control packets.
+//
+// The simulator moves core::Packet structs between tasks by value; real
+// processes need an explicit byte layout.  This module is that layout:
+// a little-endian, versioned frame codec with pure encode/decode
+// functions — no sockets, no peer, unit-testable in isolation (and
+// fuzzable: `bneck_check --codec-seeds` round-trips and mutates frames
+// through it).
+//
+// Every frame starts with a 4-byte header:
+//
+//   offset  size  field
+//   0       1     magic 'B' (0x42)
+//   1       1     magic 'N' (0x4E)
+//   2       1     version (kWireVersion)
+//   3       1     frame kind (FrameKind)
+//
+// A Packet frame (kind 0) continues with a fixed 36-byte body, then an
+// optional path suffix (Join only — see docs/wire_format.md for why the
+// wire Join carries the session path, a deliberate divergence from the
+// paper's abstract messages):
+//
+//   4       1     packet type (core::PacketType, 0..6)
+//   5       1     response tag (core::ResponseTag, 0..2)
+//   6       1     flags (bit 0 = beta; other bits must be zero)
+//   7       1     reserved (must be zero)
+//   8       4     session id (int32)
+//   12      4     eta link id (int32, -1 = no restricting link)
+//   16      4     hop (int32)
+//   20      4     path length (uint32; nonzero only on Join)
+//   24      8     lambda (IEEE-754 double bits)
+//   32      8     weight (IEEE-754 double bits)
+//   40      4*n   path link ids (int32 each, Join only)
+//
+// StatusRequest (1) and Shutdown (3) frames are header-only; a
+// StatusReply (2) frame carries the daemon's convergence snapshot.
+//
+// decode() trusts nothing: magic, version, kind, enum ranges, hop and
+// id bounds, flag/reserved bytes, float sanity and exact frame length
+// are all validated, and violations come back as an expect-style error
+// string instead of an exception or abort — a hostile or corrupted
+// datagram must never take the daemon down.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "core/packet.hpp"
+
+namespace bneck::wire {
+
+inline constexpr std::uint8_t kMagic0 = 0x42;  // 'B'
+inline constexpr std::uint8_t kMagic1 = 0x4E;  // 'N'
+inline constexpr std::uint8_t kWireVersion = 1;
+
+inline constexpr std::size_t kHeaderBytes = 4;
+inline constexpr std::size_t kPacketFrameBytes = 40;
+inline constexpr std::size_t kStatusReplyBytes = 24;
+
+/// Ingress sanity bound on the hop index; real paths are far shorter,
+/// and the daemon re-checks against the session's actual path length.
+inline constexpr std::int32_t kMaxHop = 4096;
+/// Ingress sanity bound on the Join path suffix.
+inline constexpr std::size_t kMaxPathLinks = 4096;
+
+enum class FrameKind : std::uint8_t {
+  Packet = 0,
+  StatusRequest = 1,
+  StatusReply = 2,
+  Shutdown = 3,
+};
+inline constexpr int kFrameKindCount = 4;
+
+/// Daemon convergence snapshot (StatusReply body).
+struct StatusReply {
+  bool stable = false;             // every router-link task stable
+  std::uint32_t active_sessions = 0;
+  std::uint64_t packets_seen = 0;  // wire frames accepted since start
+
+  friend bool operator==(const StatusReply&, const StatusReply&) = default;
+};
+
+/// A decoded frame.  `packet`/`path` are meaningful for kind Packet
+/// (path nonempty only for Join), `status` for kind StatusReply.
+struct Frame {
+  FrameKind kind = FrameKind::Packet;
+  core::Packet packet;
+  std::vector<LinkId> path;
+  StatusReply status;
+};
+
+/// Expect-style decode outcome: `error` is nullptr on success, else a
+/// static description of the first violated rule.  Never throws.
+struct DecodeResult {
+  Frame frame;
+  const char* error = nullptr;
+
+  [[nodiscard]] bool ok() const { return error == nullptr; }
+};
+
+// ---- encoders (append to `out`; pure functions of their arguments) ----
+
+/// Encodes a packet frame.  `path` must be empty unless p is a Join.
+void encode_packet(const core::Packet& p, std::span<const LinkId> path,
+                   std::vector<std::uint8_t>& out);
+inline void encode_packet(const core::Packet& p,
+                          std::vector<std::uint8_t>& out) {
+  encode_packet(p, {}, out);
+}
+
+void encode_status_request(std::vector<std::uint8_t>& out);
+void encode_status_reply(const StatusReply& status,
+                         std::vector<std::uint8_t>& out);
+void encode_shutdown(std::vector<std::uint8_t>& out);
+
+// ---- decoder ----
+
+/// Decodes one datagram.  Validates framing, enum ranges, hop/id bounds
+/// and float sanity; accepts exactly one frame per buffer (trailing
+/// bytes are an error).  decode(encode(f)) reproduces f for every frame
+/// the protocol emits.
+[[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace bneck::wire

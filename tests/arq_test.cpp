@@ -4,14 +4,17 @@
 
 #include <vector>
 
-#include "core/arq.hpp"
 #include "core/bneck.hpp"
 #include "core/maxmin.hpp"
 #include "net/routing.hpp"
 #include "topo/canonical.hpp"
+#include "transport/arq.hpp"
 
 namespace bneck::core {
 namespace {
+
+using transport::ArqChannel;
+using transport::ArqConfig;
 
 // Unit harness: one ArqChannel over two FIFO channels with fixed delays.
 struct ArqHarness {
