@@ -256,6 +256,12 @@ def main():
     ap.add_argument("--wall-tolerance", type=float, default=0.10,
                     help="allowed fractional wall-clock regression in "
                          "--compare mode (default 0.10)")
+    ap.add_argument("--wall-repeats", type=int, default=1,
+                    help="run the whole figure list N times (interleaved "
+                         "rounds) and record the fastest wall per bench; "
+                         "use the same N when recording a baseline and when "
+                         "comparing against it on a host with bursty "
+                         "background load)")
     ap.add_argument("--self-test", action="store_true",
                     help="unit-test the --compare failure paths and exit")
     args = ap.parse_args()
@@ -284,19 +290,41 @@ def main():
     }
 
     failures = 0
+    # --wall-repeats rounds over the whole figure list, keeping the
+    # fastest wall per bench.  Interleaved rounds (not back-to-back
+    # repeats) so a multi-second background-load burst lands on
+    # different benches in different rounds; min-of-N walls make the
+    # --compare gate usable on hosts with bursty neighbours.  The
+    # output is deterministic, so only the wall differs between rounds.
+    best = {}
+    rounds = max(1, args.wall_repeats)
+    for rnd in range(rounds):
+        for name in FIGURE_BENCHES:
+            path = os.path.join(args.bench_dir, name)
+            if not os.path.exists(path):
+                if rnd == 0:
+                    print(f"[skip] {name}: binary not built", file=sys.stderr)
+                continue
+            if rnd == 0:
+                print(f"[run ] {name} --scale {args.scale} --seed {args.seed}"
+                      + (f" ({rounds} rounds)" if rounds > 1 else ""),
+                      flush=True)
+            result = run_figure_bench(path, args.scale, args.seed, args.timeout)
+            if result["exit_code"] != 0:
+                failures += 1
+                print(f"[FAIL] {name}: exit {result['exit_code']}",
+                      file=sys.stderr)
+                best[name] = result
+                break
+            if (name not in best
+                    or result["wall_seconds"] < best[name]["wall_seconds"]):
+                best[name] = result
     for name in FIGURE_BENCHES:
-        path = os.path.join(args.bench_dir, name)
-        if not os.path.exists(path):
-            print(f"[skip] {name}: binary not built", file=sys.stderr)
+        if name not in best:
             continue
-        print(f"[run ] {name} --scale {args.scale} --seed {args.seed}", flush=True)
-        result = run_figure_bench(path, args.scale, args.seed, args.timeout)
-        report["benches"].append(result)
-        if result["exit_code"] != 0:
-            failures += 1
-            print(f"[FAIL] {name}: exit {result['exit_code']}", file=sys.stderr)
-        else:
-            print(f"[ ok ] {name}: {result['wall_seconds']}s")
+        report["benches"].append(best[name])
+        if best[name]["exit_code"] == 0:
+            print(f"[ ok ] {name}: {best[name]['wall_seconds']}s")
 
     for name in MICRO_BENCHES:
         path = os.path.join(args.bench_dir, name)

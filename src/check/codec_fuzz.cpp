@@ -1,0 +1,198 @@
+#include "check/codec_fuzz.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "core/packet.hpp"
+#include "wire/codec.hpp"
+
+namespace bneck::check {
+namespace {
+
+using core::Packet;
+using core::PacketType;
+using core::ResponseTag;
+
+std::string fmt(const char* f, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, f, args...);
+  return buf;
+}
+
+Packet random_packet(Rng& rng) {
+  Packet p;
+  p.type = static_cast<PacketType>(
+      rng.uniform_int(0, core::kPacketTypeCount - 1));
+  p.tag = static_cast<ResponseTag>(rng.uniform_int(0, 2));
+  p.beta = rng.chance(0.5);
+  p.session = SessionId{
+      static_cast<std::int32_t>(rng.uniform_int(0, 1 << 30))};
+  p.eta = LinkId{static_cast<std::int32_t>(rng.uniform_int(-1, 1'000'000))};
+  p.hop = static_cast<std::int32_t>(rng.uniform_int(-1, wire::kMaxHop));
+  p.lambda = rng.chance(0.05) ? kRateInfinity : rng.uniform_real(0.0, 1e9);
+  p.weight = rng.uniform_real(1e-2, 1e2);
+  return p;
+}
+
+std::vector<LinkId> random_path(Rng& rng) {
+  std::vector<LinkId> path(
+      static_cast<std::size_t>(rng.uniform_int(2, 8)));
+  for (LinkId& e : path) {
+    e = LinkId{static_cast<std::int32_t>(rng.uniform_int(0, 9999))};
+  }
+  return path;
+}
+
+bool same_packet(const Packet& a, const Packet& b) {
+  return a.type == b.type && a.tag == b.tag && a.beta == b.beta &&
+         a.session == b.session && a.eta == b.eta && a.hop == b.hop &&
+         a.lambda == b.lambda && a.weight == b.weight;
+}
+
+/// Re-encodes a decoded frame; canonical encoding means the bytes must
+/// reproduce whatever decoded to it.
+void reencode(const wire::Frame& f, std::vector<std::uint8_t>& out) {
+  out.clear();
+  switch (f.kind) {
+    case wire::FrameKind::Packet:
+      wire::encode_packet(f.packet, f.path, out);
+      return;
+    case wire::FrameKind::StatusRequest:
+      wire::encode_status_request(out);
+      return;
+    case wire::FrameKind::StatusReply:
+      wire::encode_status_reply(f.status, out);
+      return;
+    case wire::FrameKind::Shutdown:
+      wire::encode_shutdown(out);
+      return;
+  }
+}
+
+}  // namespace
+
+CodecFuzzResult run_codec_seed(std::uint64_t seed) {
+  CodecFuzzResult res;
+  res.seed = seed;
+  Rng rng(seed);
+  std::vector<std::uint8_t> buf, rebuf;
+  std::vector<std::vector<std::uint8_t>> corpus;
+
+  try {
+    // Round-trips: well-formed frames of every kind.
+    for (int i = 0; i < 64 && res.ok(); ++i) {
+      buf.clear();
+      Packet p = random_packet(rng);
+      std::vector<LinkId> path;
+      if (p.type == PacketType::Join) {
+        path = random_path(rng);
+        p.hop = 1;  // the only hop a Join enters a daemon at
+      }
+      wire::encode_packet(p, path, buf);
+      const wire::DecodeResult r = wire::decode(buf);
+      ++res.frames;
+      if (!r.ok()) {
+        res.failure = fmt("frame %d: valid %s rejected: %s", i,
+                          core::packet_type_name(p.type), r.error);
+        break;
+      }
+      if (!same_packet(r.frame.packet, p) || r.frame.path != path) {
+        res.failure =
+            fmt("frame %d: %s did not round-trip", i,
+                core::packet_type_name(p.type));
+        break;
+      }
+      reencode(r.frame, rebuf);
+      if (rebuf != buf) {
+        res.failure = fmt("frame %d: re-encode diverged", i);
+        break;
+      }
+      corpus.push_back(buf);
+    }
+    if (res.ok()) {
+      for (int i = 0; i < 3; ++i) {
+        buf.clear();
+        if (i == 0) {
+          wire::encode_status_request(buf);
+        } else if (i == 1) {
+          wire::StatusReply s;
+          s.stable = rng.chance(0.5);
+          s.active_sessions =
+              static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+          s.packets_seen = static_cast<std::uint64_t>(
+              rng.uniform_int(0, std::int64_t{1} << 40));
+          wire::encode_status_reply(s, buf);
+        } else {
+          wire::encode_shutdown(buf);
+        }
+        const wire::DecodeResult r = wire::decode(buf);
+        ++res.frames;
+        if (!r.ok()) {
+          res.failure = fmt("control frame %d rejected: %s", i, r.error);
+          break;
+        }
+        reencode(r.frame, rebuf);
+        if (rebuf != buf) {
+          res.failure = fmt("control frame %d: re-encode diverged", i);
+          break;
+        }
+        corpus.push_back(buf);
+      }
+    }
+
+    // Mutations of valid frames: truncate, extend, flip.  Every outcome
+    // must be an explicit rejection or a frame that round-trips itself.
+    for (int i = 0; i < 256 && res.ok(); ++i) {
+      buf = corpus[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(corpus.size()) - 1))];
+      const int op = static_cast<int>(rng.uniform_int(0, 2));
+      if (op == 0 && !buf.empty()) {
+        buf.resize(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1)));
+      } else if (op == 1) {
+        const auto extra = rng.uniform_int(1, 8);
+        for (std::int64_t k = 0; k < extra; ++k) {
+          buf.push_back(
+              static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+        }
+      } else if (!buf.empty()) {
+        const auto flips = rng.uniform_int(1, 4);
+        for (std::int64_t k = 0; k < flips; ++k) {
+          buf[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(buf.size()) - 1))] ^=
+              static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+        }
+      }
+      const wire::DecodeResult r = wire::decode(buf);
+      ++res.mutations;
+      if (!r.ok()) {
+        ++res.rejected;
+        continue;
+      }
+      reencode(r.frame, rebuf);
+      const wire::DecodeResult r2 = wire::decode(rebuf);
+      if (!r2.ok()) {
+        res.failure = fmt("mutation %d: accepted frame failed to re-decode: %s",
+                          i, r2.error);
+      }
+    }
+
+    // Garbage: the decoder must survive arbitrary bytes.
+    for (int i = 0; i < 128 && res.ok(); ++i) {
+      buf.resize(static_cast<std::size_t>(rng.uniform_int(0, 100)));
+      for (std::uint8_t& b : buf) {
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      }
+      const wire::DecodeResult r = wire::decode(buf);
+      ++res.mutations;
+      if (!r.ok()) ++res.rejected;
+    }
+  } catch (const std::exception& e) {
+    res.failure = fmt("decode threw: %s", e.what());
+  }
+  return res;
+}
+
+}  // namespace bneck::check

@@ -72,7 +72,7 @@ const RouterLink* BneckProtocol::router_link(LinkId e) const {
 
 void BneckProtocol::on_rate(SessionId s, Rate r) {
   runtime(s).notified = r;
-  const TimeNs now = transport_->now();
+  const TimeNs now = wire_now();
   if (trace_ != nullptr) trace_->on_rate_notified(now, s, r);
   if (rate_cb_) rate_cb_(s, r, now);
 }
@@ -184,14 +184,14 @@ bool BneckProtocol::all_tasks_stable() const {
 
 void BneckProtocol::on_wire(const Packet& p, LinkId physical) {
   ++packets_sent_;
-  last_packet_time_ = transport_->now();
+  last_packet_time_ = wire_now();
   if (trace_ != nullptr) trace_->on_packet_sent(last_packet_time_, p, physical);
 }
 
 void BneckProtocol::transmit(Packet p, LinkId physical, std::int32_t to_hop) {
   p.hop = to_hop;
   ++packets_by_type_[static_cast<std::size_t>(p.type)];
-  transport_->send(physical, p);
+  wire_send(physical, p);
 }
 
 std::uint64_t BneckProtocol::probe_cycles(SessionId s) const {
@@ -223,7 +223,7 @@ void BneckProtocol::send_downstream(Packet p, std::int32_t from_hop) {
     // Shared-access extension: host-internal handoff from the source
     // task to the access link's RouterLink — no physical crossing.
     p.hop = 0;
-    transport_->local(p);
+    wire_local(p);
     return;
   }
   transmit(p, rt.path.links[static_cast<std::size_t>(from_hop)], from_hop + 1);
@@ -240,7 +240,7 @@ void BneckProtocol::send_upstream(Packet p, std::int32_t from_hop) {
     // the co-located source task directly.
     BNECK_EXPECT(cfg_.shared_access_links, "upstream from hop 0");
     p.hop = -1;
-    transport_->local(p);
+    wire_local(p);
     return;
   }
   const std::int32_t to_hop = from_hop - 1;

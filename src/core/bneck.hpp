@@ -250,6 +250,30 @@ class BneckProtocol final : public Transport,
   void deliver(const Packet& p);
   void on_rate(SessionId s, Rate r);
 
+  // Devirtualized fast path for the per-packet transport calls:
+  // owned_transport_ is non-null exactly when the simulator ctor ran,
+  // and SimTransport is final, so these branches resolve to direct
+  // (LTO-inlinable) calls on the benches' hot path — the seam costs
+  // the simulator backend nothing.
+  void wire_send(LinkId physical, const Packet& p) {
+    if (owned_transport_ != nullptr) {
+      owned_transport_->send(physical, p);
+    } else {
+      transport_->send(physical, p);
+    }
+  }
+  void wire_local(const Packet& p) {
+    if (owned_transport_ != nullptr) {
+      owned_transport_->local(p);
+    } else {
+      transport_->local(p);
+    }
+  }
+  [[nodiscard]] TimeNs wire_now() const {
+    return owned_transport_ != nullptr ? owned_transport_->now()
+                                       : transport_->now();
+  }
+
   const net::Network& net_;
   BneckConfig cfg_;
   TraceSink* trace_;

@@ -1,0 +1,236 @@
+#include "transport/daemon.hpp"
+
+#include "base/expect.hpp"
+
+namespace bneck::transport {
+
+using core::Packet;
+using core::PacketType;
+using core::ResponseTag;
+using core::RouterLink;
+
+Daemon::Daemon(const net::Network& net, std::uint16_t port)
+    : net_(net),
+      transport_(port),
+      link_slot_(static_cast<std::size_t>(net.link_count()), -1) {
+  transport_.bind(*this);
+  transport_.set_peer_resolver([this](const Packet& p) -> const Endpoint* {
+    const auto it = sessions_.find(p.session);
+    return it == sessions_.end() ? nullptr : &it->second.client;
+  });
+  transport_.set_frame_handler(
+      [this](const wire::Frame& f, const Endpoint& from) {
+        on_frame(f, from);
+      });
+}
+
+void Daemon::serve() {
+  while (step(50)) {
+  }
+}
+
+bool Daemon::step(int timeout_ms) {
+  if (!running_) return false;
+  transport_.pump(timeout_ms);
+  return running_;
+}
+
+bool Daemon::stable() const {
+  for (std::size_t i = 0; i < link_arena_.size(); ++i) {
+    if (!link_arena_[i].stable()) return false;
+  }
+  return true;
+}
+
+RouterLink& Daemon::router_link_at(LinkId e) {
+  std::int32_t& slot = link_slot_[static_cast<std::size_t>(e.value())];
+  if (slot < 0) {
+    slot = static_cast<std::int32_t>(link_arena_.size());
+    link_arena_.emplace_back(e, net_.link(e).capacity, *this);
+  }
+  return link_arena_[static_cast<std::size_t>(slot)];
+}
+
+const char* Daemon::validate_join_path(const std::vector<LinkId>& path) const {
+  if (path.size() < 2) return "join path too short";
+  for (const LinkId e : path) {
+    if (!e.valid() || e.value() >= net_.link_count()) {
+      return "join path references unknown link";
+    }
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (net_.link(path[i]).dst != net_.link(path[i + 1]).src) {
+      return "join path is not contiguous";
+    }
+  }
+  if (!net_.is_host(net_.link(path.front()).src) ||
+      !net_.is_host(net_.link(path.back()).dst)) {
+    return "join path must run host to host";
+  }
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const net::Link& l = net_.link(path[i]);
+    if (net_.is_host(l.src) || net_.is_host(l.dst)) {
+      return "join path crosses a host mid-way";
+    }
+  }
+  return nullptr;
+}
+
+const char* Daemon::ingress(const wire::Frame& f, const Endpoint& from) {
+  const Packet& p = f.packet;
+  if (!core::is_downstream(p.type)) {
+    return "upstream packet type from a peer";
+  }
+  if (p.eta.valid() && p.eta.value() >= net_.link_count()) {
+    return "eta references unknown link";
+  }
+  if (p.type == PacketType::Join) {
+    if (p.hop != 1) return "join must enter at hop 1";
+    if (const char* err = validate_join_path(f.path)) return err;
+    if (sessions_.contains(p.session)) {
+      return "session ids are single-use (no re-join)";
+    }
+    SessionRec rec;
+    rec.path.links = f.path;
+    rec.client = from;
+    sessions_.emplace(p.session, std::move(rec));
+    ++live_;
+  } else {
+    const auto it = sessions_.find(p.session);
+    if (it == sessions_.end()) return "packet for unknown session";
+    if (!it->second.live) return "packet for departed session";
+    const auto len = static_cast<std::int32_t>(it->second.path.links.size());
+    if (p.hop < 1 || p.hop > len) return "hop outside session path";
+    if (p.type == PacketType::Leave) {
+      it->second.live = false;
+      --live_;
+    }
+  }
+  deliver(p);
+  return nullptr;
+}
+
+void Daemon::on_frame(const wire::Frame& f, const Endpoint& from) {
+  switch (f.kind) {
+    case wire::FrameKind::Packet: {
+      const char* err = nullptr;
+      try {
+        err = ingress(f, from);
+      } catch (const InvariantError& e) {
+        ++stats_.invariant_trips;
+        last_reject_ = e.what();
+        return;
+      }
+      if (err != nullptr) {
+        ++stats_.frames_rejected;
+        last_reject_ = err;
+      } else {
+        ++stats_.frames_accepted;
+      }
+      return;
+    }
+    case wire::FrameKind::StatusRequest: {
+      ++stats_.status_requests;
+      wire::StatusReply s;
+      s.stable = stable();
+      s.active_sessions = live_;
+      s.packets_seen = stats_.frames_accepted;
+      std::vector<std::uint8_t> buf;
+      wire::encode_status_reply(s, buf);
+      transport_.send_frame(from, buf);
+      return;
+    }
+    case wire::FrameKind::StatusReply:
+      return;  // daemons answer status, they do not consume it
+    case wire::FrameKind::Shutdown:
+      running_ = false;
+      return;
+  }
+}
+
+void Daemon::on_packet(const Packet& p) {
+  try {
+    deliver(p);
+  } catch (const InvariantError& e) {
+    ++stats_.invariant_trips;
+    last_reject_ = e.what();
+  }
+}
+
+void Daemon::deliver(const Packet& p) {
+  const auto it = sessions_.find(p.session);
+  BNECK_EXPECT(it != sessions_.end(), "unknown session");
+  const net::Path& path = it->second.path;
+  const auto len = static_cast<std::int32_t>(path.links.size());
+  BNECK_EXPECT(p.hop >= 1 && p.hop <= len, "hop outside session path");
+
+  if (p.hop == len) {
+    // Destination node (paper Figure 4): stateless echo, same as the
+    // simulator binding (core/bneck.cpp).
+    switch (p.type) {
+      case PacketType::Join:
+      case PacketType::Probe: {
+        Packet r;
+        r.type = PacketType::Response;
+        r.session = p.session;
+        r.tag = ResponseTag::Response;
+        r.lambda = p.lambda;
+        r.eta = p.eta;
+        send_upstream(r, len);
+        return;
+      }
+      case PacketType::SetBottleneck:
+        if (!p.beta) {
+          Packet u;
+          u.type = PacketType::Update;
+          u.session = p.session;
+          send_upstream(u, len);
+        }
+        return;
+      case PacketType::Leave:
+        return;  // path fully cleaned up
+      default:
+        BNECK_EXPECT(false, "upstream packet at destination");
+    }
+  }
+
+  RouterLink& link = router_link_at(path.links[static_cast<std::size_t>(p.hop)]);
+  switch (p.type) {
+    case PacketType::Join: link.on_join(p, p.hop); return;
+    case PacketType::Probe: link.on_probe(p, p.hop); return;
+    case PacketType::Response: link.on_response(p, p.hop); return;
+    case PacketType::Update: link.on_update(p, p.hop); return;
+    case PacketType::Bottleneck: link.on_bottleneck(p, p.hop); return;
+    case PacketType::SetBottleneck: link.on_set_bottleneck(p, p.hop); return;
+    case PacketType::Leave: link.on_leave(p, p.hop); return;
+  }
+}
+
+void Daemon::send_downstream(Packet p, std::int32_t from_hop) {
+  const auto it = sessions_.find(p.session);
+  BNECK_EXPECT(it != sessions_.end(), "unknown session");
+  const auto len = static_cast<std::int32_t>(it->second.path.links.size());
+  BNECK_EXPECT(core::is_downstream(p.type), "upstream packet sent downstream");
+  BNECK_EXPECT(from_hop >= 1 && from_hop < len, "bad downstream hop");
+  p.hop = from_hop + 1;
+  transport_.local(p);
+}
+
+void Daemon::send_upstream(Packet p, std::int32_t from_hop) {
+  const auto it = sessions_.find(p.session);
+  BNECK_EXPECT(it != sessions_.end(), "unknown session");
+  const net::Path& path = it->second.path;
+  const auto len = static_cast<std::int32_t>(path.links.size());
+  BNECK_EXPECT(!core::is_downstream(p.type), "downstream packet sent upstream");
+  BNECK_EXPECT(from_hop >= 1 && from_hop <= len, "bad upstream hop");
+  p.hop = from_hop - 1;
+  if (p.hop == 0) {
+    // Crossing to the source task: out over the socket, addressed by
+    // the session registry (reverse of the access link).
+    transport_.send(net_.link(path.links.front()).reverse, p);
+    return;
+  }
+  transport_.local(p);
+}
+
+}  // namespace bneck::transport

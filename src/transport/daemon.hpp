@@ -1,0 +1,116 @@
+// bneckd: the B-Neck router plane as a real process.
+//
+// A Daemon hosts every RouterLink task of one network (hops 1..len-1 of
+// each session path) plus the paper's stateless destination echo
+// (Figure 4), and talks the src/wire format over UDP with source-node
+// clients (transport/client.hpp), which run the paper's Figure-3 source
+// tasks.  The hop contract is exactly the simulator's dedicated-access
+// mode: hop 0 is the source (on the far side of the socket), hop k in
+// [1, len) is the RouterLink at path.links[k], hop == len is the
+// destination echo.  Hops that stay inside the daemon ride the
+// transport's local-handoff queue (FIFO, like the simulator's
+// zero-delay events); hops that cross to a source are encoded and sent
+// to the client endpoint recorded at Join time.
+//
+// Session paths arrive on the wire: the Join frame carries the full
+// link path (a deliberate divergence from the paper's abstract
+// messages; docs/wire_format.md).  The daemon validates it against its
+// own topology before admitting the session.
+//
+// Nothing in the ingress path aborts: decode failures are dropped by
+// UdpTransport, semantic violations (unknown session, bad hop, path
+// mismatch, upstream types from a peer) are rejected and counted, and
+// any InvariantError escaping the protocol handlers is caught and
+// counted — a hostile peer can be ignored, never crash the daemon.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/slab.hpp"
+#include "core/router_link.hpp"
+#include "net/routing.hpp"
+#include "transport/udp.hpp"
+
+namespace bneck::transport {
+
+struct DaemonStats {
+  std::uint64_t frames_accepted = 0;  // wire frames admitted to the plane
+  std::uint64_t frames_rejected = 0;  // semantic ingress rejections
+  std::uint64_t invariant_trips = 0;  // InvariantError caught in handlers
+  std::uint64_t status_requests = 0;
+};
+
+class Daemon final : public core::Transport, public TransportSink {
+ public:
+  /// Serves `net`'s router plane on 127.0.0.1:`port` (0 = ephemeral).
+  /// The network must outlive the daemon.
+  explicit Daemon(const net::Network& net, std::uint16_t port = 0);
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  [[nodiscard]] Endpoint endpoint() const {
+    return transport_.local_endpoint();
+  }
+
+  /// Blocks until a Shutdown frame arrives (or request_stop()).
+  void serve();
+  /// One poll-and-drain iteration; returns false once stopped.
+  bool step(int timeout_ms);
+  void request_stop() { running_ = false; }
+
+  /// Every instantiated RouterLink task is stable (no probe cycle in
+  /// flight inside the router plane).
+  [[nodiscard]] bool stable() const;
+  [[nodiscard]] std::uint32_t active_sessions() const { return live_; }
+  [[nodiscard]] const DaemonStats& stats() const { return stats_; }
+  [[nodiscard]] UdpTransport& transport() { return transport_; }
+  [[nodiscard]] const std::string& last_reject() const { return last_reject_; }
+
+  // -- core::Transport (RouterLink emissions) --
+  void send_downstream(core::Packet p, std::int32_t from_hop) override;
+  void send_upstream(core::Packet p, std::int32_t from_hop) override;
+
+  // -- TransportSink --
+  void on_wire(const core::Packet&, LinkId) override {}
+  void on_packet(const core::Packet& p) override;  // local-handoff drain
+
+ private:
+  struct SessionRec {
+    net::Path path;
+    Endpoint client;
+    bool live = true;
+  };
+
+  void on_frame(const wire::Frame& f, const Endpoint& from);
+  /// Validates and admits one peer packet; returns nullptr on success,
+  /// else the rejection reason.
+  const char* ingress(const wire::Frame& f, const Endpoint& from);
+  const char* validate_join_path(const std::vector<LinkId>& path) const;
+  void deliver(const core::Packet& p);
+  core::RouterLink& router_link_at(LinkId e);
+
+  const net::Network& net_;
+  UdpTransport transport_;
+
+  Slab<core::RouterLink> link_arena_;
+  std::vector<std::int32_t> link_slot_;  // link id -> arena slot, -1 unused
+
+  // Session registry, learned from Join frames.  Records are tombstoned
+  // on Leave, never erased: late packets for a departed session are
+  // dropped silently, and session ids stay single-use (core contract).
+  std::unordered_map<SessionId, SessionRec> sessions_;
+  std::uint32_t live_ = 0;
+
+  // Atomic so an in-process controller thread can stop the serve loop
+  // (the compliance harness's threaded mode).
+  std::atomic<bool> running_{true};
+  DaemonStats stats_;
+  std::string last_reject_;
+};
+
+}  // namespace bneck::transport

@@ -1,0 +1,199 @@
+#include "transport/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "base/expect.hpp"
+
+namespace bneck::transport {
+
+namespace {
+
+sockaddr_in to_sockaddr(const Endpoint& e) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(e.addr);
+  sa.sin_port = htons(e.port);
+  return sa;
+}
+
+Endpoint from_sockaddr(const sockaddr_in& sa) {
+  Endpoint e;
+  e.addr = ntohl(sa.sin_addr.s_addr);
+  e.port = ntohs(sa.sin_port);
+  return e;
+}
+
+int open_udp_socket() {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          IPPROTO_UDP);
+  BNECK_EXPECT(fd >= 0, "socket(AF_INET, SOCK_DGRAM) failed");
+  return fd;
+}
+
+// One wire frame per datagram; the largest legal frame is a Join with
+// kMaxPathLinks path entries.
+constexpr std::size_t kMaxDatagram =
+    wire::kPacketFrameBytes + 4 * wire::kMaxPathLinks;
+
+}  // namespace
+
+Endpoint Endpoint::loopback(std::uint16_t port) {
+  return Endpoint{INADDR_LOOPBACK, port};
+}
+
+std::string Endpoint::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff, port);
+  return buf;
+}
+
+UdpSocket::UdpSocket() : fd_(open_udp_socket()) {}
+
+UdpSocket::UdpSocket(std::uint16_t port) : fd_(open_udp_socket()) {
+  const sockaddr_in sa = to_sockaddr(Endpoint::loopback(port));
+  const int rc =
+      ::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  BNECK_EXPECT(rc == 0, "bind(127.0.0.1) failed");
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Endpoint UdpSocket::local_endpoint() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  const int rc = ::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len);
+  BNECK_EXPECT(rc == 0, "getsockname failed");
+  return from_sockaddr(sa);
+}
+
+bool UdpSocket::send_to(const Endpoint& to,
+                        std::span<const std::uint8_t> bytes) {
+  const sockaddr_in sa = to_sockaddr(to);
+  const auto n = ::sendto(fd_, bytes.data(), bytes.size(), 0,
+                          reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  return n == static_cast<std::ptrdiff_t>(bytes.size());
+}
+
+std::ptrdiff_t UdpSocket::recv_from(std::span<std::uint8_t> buf,
+                                    Endpoint& from) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  const auto n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                            reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) return -1;  // EAGAIN and friends: nothing queued
+  from = from_sockaddr(sa);
+  return n;
+}
+
+bool UdpSocket::wait_readable(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+UdpTransport::UdpTransport(std::uint16_t port) : socket_(port) {}
+
+void UdpTransport::bind(TransportSink& sink) {
+  BNECK_EXPECT(sink_ == nullptr, "transport already bound");
+  sink_ = &sink;
+}
+
+TimeNs UdpTransport::now() const {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<TimeNs>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+void UdpTransport::send(LinkId physical, const core::Packet& p) {
+  BNECK_EXPECT(sink_ != nullptr, "transport not bound");
+  const Endpoint* to = &peer_;
+  if (peer_resolver_) {
+    to = peer_resolver_(p);
+    if (to == nullptr) {
+      ++unroutable_;
+      return;
+    }
+  }
+  encode_buf_.clear();
+  if (p.type == core::PacketType::Join && join_path_) {
+    wire::encode_packet(p, join_path_(p.session), encode_buf_);
+  } else {
+    wire::encode_packet(p, encode_buf_);
+  }
+  sink_->on_wire(p, physical);
+  if (socket_.send_to(*to, encode_buf_)) ++datagrams_sent_;
+}
+
+void UdpTransport::local(const core::Packet& p) {
+  BNECK_EXPECT(sink_ != nullptr, "transport not bound");
+  pending_.push_back(p);
+}
+
+bool UdpTransport::send_frame(const Endpoint& to,
+                              std::span<const std::uint8_t> bytes) {
+  const bool ok = socket_.send_to(to, bytes);
+  if (ok) ++datagrams_sent_;
+  return ok;
+}
+
+void UdpTransport::drain_local() {
+  while (!pending_.empty()) {
+    const core::Packet p = pending_.front();
+    pending_.pop_front();
+    sink_->on_packet(p);
+  }
+}
+
+std::size_t UdpTransport::drain_socket() {
+  std::array<std::uint8_t, kMaxDatagram + 1> buf;
+  std::size_t processed = 0;
+  Endpoint from;
+  std::ptrdiff_t n;
+  while ((n = socket_.recv_from(buf, from)) >= 0) {
+    ++datagrams_received_;
+    const wire::DecodeResult r =
+        wire::decode({buf.data(), static_cast<std::size_t>(n)});
+    if (!r.ok()) {
+      ++decode_errors_;
+      last_decode_error_ = r.error;
+      continue;
+    }
+    ++processed;
+    if (frame_handler_) {
+      frame_handler_(r.frame, from);
+    } else if (r.frame.kind == wire::FrameKind::Packet) {
+      sink_->on_packet(r.frame.packet);
+    }
+    drain_local();  // handoffs triggered by this frame, FIFO
+  }
+  return processed;
+}
+
+std::size_t UdpTransport::pump(int timeout_ms) {
+  BNECK_EXPECT(sink_ != nullptr, "transport not bound");
+  std::size_t processed = pending_.size();
+  drain_local();
+  processed += drain_socket();
+  if (processed == 0 && timeout_ms > 0 && socket_.wait_readable(timeout_ms)) {
+    processed += drain_socket();
+  }
+  return processed;
+}
+
+}  // namespace bneck::transport

@@ -1,0 +1,167 @@
+// The socket-backed side of the transport seam.
+//
+// UdpSocket is a thin RAII wrapper over a nonblocking IPv4/UDP socket
+// (loopback-oriented: bneckd and its clients talk over 127.0.0.1, one
+// wire frame per datagram).  UdpTransport implements LinkTransport on
+// top of it: outbound packets are encoded through src/wire and sent to
+// a peer — a fixed endpoint for a client (everything goes to the
+// daemon) or a per-session endpoint resolved from the daemon's session
+// registry — and inbound datagrams are decoded and dispatched by
+// pump().
+//
+// Unlike SimTransport there is no virtual time and no loss model: the
+// clock is CLOCK_MONOTONIC and reliability is whatever the kernel
+// loopback path provides (clients re-probe on stall; see
+// transport/client.hpp).  Decode failures are counted and dropped —
+// a hostile or corrupted datagram must never take the process down.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/packet.hpp"
+#include "transport/transport.hpp"
+#include "wire/codec.hpp"
+
+namespace bneck::transport {
+
+/// An IPv4/UDP address in host byte order.
+struct Endpoint {
+  std::uint32_t addr = 0;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] static Endpoint loopback(std::uint16_t port);
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Nonblocking UDP socket, closed on destruction (the ASan CI cell
+/// watches daemon shutdown for fd leaks).
+class UdpSocket {
+ public:
+  /// Creates an unbound socket (a client: the kernel picks the local
+  /// port on first send).
+  UdpSocket();
+  /// Binds to 127.0.0.1:`port`; port 0 asks the kernel for an ephemeral
+  /// port (read it back with local_endpoint()).
+  explicit UdpSocket(std::uint16_t port);
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] Endpoint local_endpoint() const;
+
+  /// Sends one datagram.  Returns false when the kernel refused it
+  /// (full buffer on a nonblocking socket); callers treat that as wire
+  /// loss, which the protocol's re-probe path already tolerates.
+  bool send_to(const Endpoint& to, std::span<const std::uint8_t> bytes);
+
+  /// Receives one datagram into `buf`; returns its length, or -1 when
+  /// nothing is queued.
+  std::ptrdiff_t recv_from(std::span<std::uint8_t> buf, Endpoint& from);
+
+  /// Blocks up to `timeout_ms` for readability (poll(2)).
+  bool wait_readable(int timeout_ms);
+
+  /// Closes the descriptor early (idempotent).  A forked parent calls
+  /// this on its copy so only the daemon child reads the socket.
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// LinkTransport over UDP datagrams.  The owner decides where frames
+/// go (set_peer / set_peer_resolver), how Join frames learn their path
+/// suffix (set_join_path_lookup), and what happens to inbound frames
+/// (set_frame_handler); pump() drives both the host-internal handoff
+/// queue and the socket.
+class UdpTransport final : public LinkTransport {
+ public:
+  using PeerResolver = std::function<const Endpoint*(const core::Packet&)>;
+  using JoinPathLookup =
+      std::function<std::span<const LinkId>(SessionId)>;
+  /// Invoked for every decoded inbound frame with its source address.
+  using FrameHandler =
+      std::function<void(const wire::Frame&, const Endpoint& from)>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral).
+  explicit UdpTransport(std::uint16_t port = 0);
+
+  [[nodiscard]] Endpoint local_endpoint() const {
+    return socket_.local_endpoint();
+  }
+  [[nodiscard]] UdpSocket& socket() { return socket_; }
+
+  /// Fixed-peer mode (client: every frame goes to the daemon).
+  void set_peer(const Endpoint& peer) { peer_ = peer; }
+  /// Per-packet peer mode (daemon: session registry lookup).  Returning
+  /// nullptr drops the packet and counts it (unroutable).
+  void set_peer_resolver(PeerResolver resolver) {
+    peer_resolver_ = std::move(resolver);
+  }
+  void set_join_path_lookup(JoinPathLookup lookup) {
+    join_path_ = std::move(lookup);
+  }
+  void set_frame_handler(FrameHandler handler) {
+    frame_handler_ = std::move(handler);
+  }
+
+  // -- LinkTransport --
+  void bind(TransportSink& sink) override;
+  void send(LinkId physical, const core::Packet& p) override;
+  void local(const core::Packet& p) override;
+  /// CLOCK_MONOTONIC nanoseconds.
+  [[nodiscard]] TimeNs now() const override;
+  [[nodiscard]] std::uint64_t retransmissions() const override { return 0; }
+
+  /// Encodes and sends a non-packet control frame.
+  bool send_frame(const Endpoint& to, std::span<const std::uint8_t> bytes);
+
+  /// Drains the local-handoff queue, then every queued datagram; when
+  /// both are empty, waits up to `timeout_ms` for the socket and drains
+  /// again.  Returns the number of frames + handoffs processed.
+  std::size_t pump(int timeout_ms);
+
+  // -- counters (daemon status / tests) --
+  [[nodiscard]] std::uint64_t datagrams_sent() const {
+    return datagrams_sent_;
+  }
+  [[nodiscard]] std::uint64_t datagrams_received() const {
+    return datagrams_received_;
+  }
+  [[nodiscard]] std::uint64_t decode_errors() const { return decode_errors_; }
+  [[nodiscard]] std::uint64_t unroutable() const { return unroutable_; }
+  [[nodiscard]] const char* last_decode_error() const {
+    return last_decode_error_;
+  }
+
+ private:
+  void drain_local();
+  std::size_t drain_socket();
+
+  UdpSocket socket_;
+  TransportSink* sink_ = nullptr;
+  Endpoint peer_;
+  PeerResolver peer_resolver_;
+  JoinPathLookup join_path_;
+  FrameHandler frame_handler_;
+
+  std::deque<core::Packet> pending_;  // local() handoffs, FIFO
+  std::vector<std::uint8_t> encode_buf_;
+
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_received_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  std::uint64_t unroutable_ = 0;
+  const char* last_decode_error_ = nullptr;
+};
+
+}  // namespace bneck::transport

@@ -166,6 +166,10 @@ DecodeResult decode(std::span<const std::uint8_t> bytes) {
   if (path_len > 0 && p.type != core::PacketType::Join) {
     return err("path suffix on a non-Join packet");
   }
+  // A session path has at least the two access links (net::Path).
+  if (p.type == core::PacketType::Join && path_len < 2) {
+    return err("Join without a session path");
+  }
   if (path_len > kMaxPathLinks) return err("path suffix too long");
   if (bytes.size() != kPacketFrameBytes + 4 * std::size_t{path_len}) {
     return err("frame length does not match path length");

@@ -27,7 +27,7 @@
 //   8       4     session id (int32)
 //   12      4     eta link id (int32, -1 = no restricting link)
 //   16      4     hop (int32)
-//   20      4     path length (uint32; nonzero only on Join)
+//   20      4     path length (uint32; >= 2 on Join, 0 otherwise)
 //   24      8     lambda (IEEE-754 double bits)
 //   32      8     weight (IEEE-754 double bits)
 //   40      4*n   path link ids (int32 each, Join only)
@@ -57,7 +57,8 @@ inline constexpr std::uint8_t kWireVersion = 1;
 
 inline constexpr std::size_t kHeaderBytes = 4;
 inline constexpr std::size_t kPacketFrameBytes = 40;
-inline constexpr std::size_t kStatusReplyBytes = 24;
+// Header + stable flag + 3 reserved + active sessions + packets seen.
+inline constexpr std::size_t kStatusReplyBytes = 20;
 
 /// Ingress sanity bound on the hop index; real paths are far shorter,
 /// and the daemon re-checks against the session's actual path length.

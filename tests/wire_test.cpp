@@ -1,0 +1,262 @@
+// Wire-codec tests: round-trips over every packet type, exhaustive
+// truncation, and field-by-field malformed-input rejection (the daemon
+// ingress hardening contract: decode() trusts nothing and never
+// throws).  The seeded fuzz campaigns behind `bneck_check
+// --codec-seeds` run here too, so a codec regression fails ctest before
+// any fuzzing infrastructure is involved.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "check/codec_fuzz.hpp"
+#include "core/packet.hpp"
+#include "wire/codec.hpp"
+
+namespace bneck::wire {
+namespace {
+
+using core::Packet;
+using core::PacketType;
+using core::ResponseTag;
+
+Packet sample_packet(PacketType t) {
+  Packet p;
+  p.type = t;
+  p.tag = t == PacketType::Response ? ResponseTag::Bottleneck
+                                    : ResponseTag::Response;
+  p.beta = t == PacketType::SetBottleneck;
+  p.session = SessionId{41};
+  p.eta = LinkId{7};
+  p.hop = 3;
+  p.lambda = 12.5;
+  p.weight = 2.25;
+  return p;
+}
+
+std::vector<LinkId> sample_path() {
+  return {LinkId{0}, LinkId{4}, LinkId{9}, LinkId{2}};
+}
+
+std::vector<std::uint8_t> encode_one(const Packet& p,
+                                     std::vector<LinkId> path = {}) {
+  std::vector<std::uint8_t> buf;
+  encode_packet(p, path, buf);
+  return buf;
+}
+
+TEST(WireCodec, FrameSizes) {
+  const auto probe = encode_one(sample_packet(PacketType::Probe));
+  EXPECT_EQ(probe.size(), kPacketFrameBytes);
+
+  Packet join = sample_packet(PacketType::Join);
+  join.hop = 1;
+  const auto path = sample_path();
+  const auto frame = encode_one(join, path);
+  EXPECT_EQ(frame.size(), kPacketFrameBytes + 4 * path.size());
+
+  std::vector<std::uint8_t> buf;
+  encode_status_request(buf);
+  EXPECT_EQ(buf.size(), kHeaderBytes);
+  buf.clear();
+  encode_status_reply({}, buf);
+  EXPECT_EQ(buf.size(), kStatusReplyBytes);
+  buf.clear();
+  encode_shutdown(buf);
+  EXPECT_EQ(buf.size(), kHeaderBytes);
+}
+
+TEST(WireCodec, RoundTripsEveryPacketType) {
+  for (int t = 0; t < core::kPacketTypeCount; ++t) {
+    Packet p = sample_packet(static_cast<PacketType>(t));
+    std::vector<LinkId> path;
+    if (p.type == PacketType::Join) {
+      p.hop = 1;
+      path = sample_path();
+    }
+    const auto buf = encode_one(p, path);
+    const DecodeResult r = decode(buf);
+    ASSERT_TRUE(r.ok()) << core::packet_type_name(p.type) << ": " << r.error;
+    EXPECT_EQ(r.frame.kind, FrameKind::Packet);
+    EXPECT_EQ(r.frame.packet.type, p.type);
+    EXPECT_EQ(r.frame.packet.tag, p.tag);
+    EXPECT_EQ(r.frame.packet.beta, p.beta);
+    EXPECT_EQ(r.frame.packet.session, p.session);
+    EXPECT_EQ(r.frame.packet.eta, p.eta);
+    EXPECT_EQ(r.frame.packet.hop, p.hop);
+    EXPECT_EQ(r.frame.packet.lambda, p.lambda);
+    EXPECT_EQ(r.frame.packet.weight, p.weight);
+    EXPECT_EQ(r.frame.path, path);
+  }
+}
+
+TEST(WireCodec, RoundTripsBoundaryValues) {
+  Packet p = sample_packet(PacketType::Update);
+  p.eta = LinkId{-1};   // "no restricting link"
+  p.hop = -1;           // shared-access source hop
+  p.lambda = kRateInfinity;
+  const auto r = decode(encode_one(p));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.frame.packet.eta, LinkId{-1});
+  EXPECT_EQ(r.frame.packet.hop, -1);
+  EXPECT_EQ(r.frame.packet.lambda, kRateInfinity);
+}
+
+TEST(WireCodec, RoundTripsStatusReply) {
+  StatusReply s;
+  s.stable = true;
+  s.active_sessions = 1234;
+  s.packets_seen = 0xdeadbeef012345ull;
+  std::vector<std::uint8_t> buf;
+  encode_status_reply(s, buf);
+  const DecodeResult r = decode(buf);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.frame.kind, FrameKind::StatusReply);
+  EXPECT_EQ(r.frame.status, s);
+}
+
+TEST(WireCodec, RejectsEveryTruncation) {
+  Packet join = sample_packet(PacketType::Join);
+  join.hop = 1;
+  const auto buf = encode_one(join, sample_path());
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    const DecodeResult r =
+        decode({buf.data(), len});
+    EXPECT_FALSE(r.ok()) << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(WireCodec, RejectsTrailingBytes) {
+  for (const bool control : {false, true}) {
+    std::vector<std::uint8_t> buf;
+    if (control) {
+      encode_status_request(buf);
+    } else {
+      encode_packet(sample_packet(PacketType::Probe), buf);
+    }
+    buf.push_back(0);
+    EXPECT_FALSE(decode(buf).ok());
+  }
+}
+
+TEST(WireCodec, RejectsBadHeader) {
+  auto buf = encode_one(sample_packet(PacketType::Probe));
+  auto mutated = buf;
+  mutated[0] = 'X';
+  EXPECT_STREQ(decode(mutated).error, "bad magic");
+  mutated = buf;
+  mutated[2] = kWireVersion + 1;
+  EXPECT_STREQ(decode(mutated).error, "unsupported wire version");
+  mutated = buf;
+  mutated[3] = 9;
+  EXPECT_STREQ(decode(mutated).error, "unknown frame kind");
+}
+
+// Field offsets below follow the layout table in wire/codec.hpp.
+TEST(WireCodec, RejectsOutOfRangeEnumsAndFlags) {
+  const auto buf = encode_one(sample_packet(PacketType::Probe));
+  auto mutated = buf;
+  mutated[4] = static_cast<std::uint8_t>(core::kPacketTypeCount);
+  EXPECT_FALSE(decode(mutated).ok());  // packet type out of range
+  mutated = buf;
+  mutated[5] = 3;
+  EXPECT_FALSE(decode(mutated).ok());  // response tag out of range
+  mutated = buf;
+  mutated[6] = 0x02;
+  EXPECT_FALSE(decode(mutated).ok());  // non-beta flag bit set
+  mutated = buf;
+  mutated[7] = 1;
+  EXPECT_FALSE(decode(mutated).ok());  // reserved byte nonzero
+}
+
+TEST(WireCodec, RejectsBadIdsAndHops) {
+  Packet p = sample_packet(PacketType::Probe);
+  p.session = SessionId{-1};
+  EXPECT_FALSE(decode(encode_one(p)).ok());
+
+  p = sample_packet(PacketType::Probe);
+  p.eta = LinkId{-2};
+  EXPECT_FALSE(decode(encode_one(p)).ok());
+
+  p = sample_packet(PacketType::Probe);
+  p.hop = -2;
+  EXPECT_FALSE(decode(encode_one(p)).ok());
+
+  p = sample_packet(PacketType::Probe);
+  p.hop = kMaxHop + 1;
+  EXPECT_FALSE(decode(encode_one(p)).ok());
+}
+
+TEST(WireCodec, RejectsBadFloats) {
+  Packet p = sample_packet(PacketType::Probe);
+  p.lambda = std::nan("");
+  EXPECT_FALSE(decode(encode_one(p)).ok());
+
+  p = sample_packet(PacketType::Probe);
+  p.lambda = -1.0;
+  EXPECT_FALSE(decode(encode_one(p)).ok());
+
+  for (const double w : {0.0, -2.0, std::nan(""), kRateInfinity}) {
+    p = sample_packet(PacketType::Probe);
+    p.weight = w;
+    EXPECT_FALSE(decode(encode_one(p)).ok()) << "weight " << w;
+  }
+}
+
+TEST(WireCodec, RejectsBadPaths) {
+  // Path suffix on a non-Join.
+  auto buf = encode_one(sample_packet(PacketType::Probe));
+  buf[20] = 1;  // path-length field
+  buf.push_back(5);
+  buf.push_back(0);
+  buf.push_back(0);
+  buf.push_back(0);
+  EXPECT_FALSE(decode(buf).ok());
+
+  // Path length field disagreeing with the actual suffix.
+  Packet join = sample_packet(PacketType::Join);
+  join.hop = 1;
+  buf = encode_one(join, sample_path());
+  buf[20] += 1;
+  EXPECT_FALSE(decode(buf).ok());
+
+  // Negative link id inside the suffix.
+  buf = encode_one(join, sample_path());
+  std::memset(buf.data() + kPacketFrameBytes, 0xff, 4);
+  EXPECT_FALSE(decode(buf).ok());
+
+  // Join without any path.
+  EXPECT_FALSE(decode(encode_one(join)).ok());
+
+  // Path length beyond the ingress bound.
+  std::vector<LinkId> huge(kMaxPathLinks + 1, LinkId{1});
+  buf = encode_one(join, huge);
+  EXPECT_FALSE(decode(buf).ok());
+}
+
+TEST(WireCodec, RejectsBadStatusReply) {
+  std::vector<std::uint8_t> buf;
+  encode_status_reply({}, buf);
+  auto mutated = buf;
+  mutated[4] = 2;
+  EXPECT_FALSE(decode(mutated).ok());  // stable flag out of range
+  mutated = buf;
+  mutated[6] = 1;
+  EXPECT_FALSE(decode(mutated).ok());  // reserved byte nonzero
+  mutated = buf;
+  mutated.pop_back();
+  EXPECT_FALSE(decode(mutated).ok());  // short frame
+}
+
+TEST(WireCodec, SeededFuzzCampaignsPass) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const auto r = check::run_codec_seed(seed);
+    EXPECT_TRUE(r.ok()) << "seed " << seed << ": " << r.failure;
+    EXPECT_GT(r.frames, 0u);
+    EXPECT_GT(r.rejected, 0u);  // mutations must actually get rejected
+  }
+}
+
+}  // namespace
+}  // namespace bneck::wire

@@ -23,6 +23,8 @@
 #include <cstring>
 #include <string>
 
+#include "check/codec_fuzz.hpp"
+#include "check/compliance.hpp"
 #include "check/runner.hpp"
 #include "check/scenario.hpp"
 #include "check/shrink.hpp"
@@ -33,6 +35,14 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [--seeds A..B | --replay \"<spec>\"] [options]\n"
       "  --seeds A..B          seed range, inclusive (default 0..100)\n"
+      "  --codec-seeds A..B    fuzz the wire codec instead (src/wire):\n"
+      "                        round-trips + mutated/garbage datagrams\n"
+      "  --compliance A..B     live-network mode: replay each seed's\n"
+      "                        scenario against a forked bneckd over\n"
+      "                        127.0.0.1 and check rates vs the solver\n"
+      "  --compliance-threaded run the daemon on a thread, not a fork\n"
+      "                        (in-process; what the ASan CI cell uses)\n"
+      "  --compliance-timeout MS  convergence budget per seed (5000)\n"
       "  --threads N           worker threads (0 = all cores, default)\n"
       "  --shrink              minimize failures to a minimal reproducer\n"
       "  --max-shrink-runs N   candidate re-runs per shrink (default 4000)\n"
@@ -50,6 +60,9 @@ void usage(const char* argv0) {
 struct Args {
   std::uint64_t seed_first = 0;
   std::uint64_t seed_last = 100;
+  bool codec_mode = false;
+  bool compliance_mode = false;
+  bneck::check::ComplianceOptions compliance;
   std::size_t threads = 0;
   bool do_shrink = false;
   std::size_t max_shrink_runs = 4000;
@@ -84,6 +97,26 @@ bool parse_args(int argc, char** argv, Args* a) {
         std::fprintf(stderr, "bad --seeds (want A..B or N)\n");
         return false;
       }
+    } else if (std::strcmp(argv[i], "--codec-seeds") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_seed_range(v, &a->seed_first, &a->seed_last)) {
+        std::fprintf(stderr, "bad --codec-seeds (want A..B or N)\n");
+        return false;
+      }
+      a->codec_mode = true;
+    } else if (std::strcmp(argv[i], "--compliance") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_seed_range(v, &a->seed_first, &a->seed_last)) {
+        std::fprintf(stderr, "bad --compliance (want A..B or N)\n");
+        return false;
+      }
+      a->compliance_mode = true;
+    } else if (std::strcmp(argv[i], "--compliance-threaded") == 0) {
+      a->compliance.threaded = true;
+    } else if (std::strcmp(argv[i], "--compliance-timeout") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->compliance.timeout_ms = std::atoi(v);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = next();
       if (v == nullptr) return false;
@@ -189,6 +222,64 @@ int main(int argc, char** argv) {
 }
 
 int run(const Args& args) {
+  if (args.codec_mode) {
+    int failures = 0;
+    std::uint64_t frames = 0, mutations = 0, rejected = 0;
+    for (std::uint64_t s = args.seed_first; s <= args.seed_last; ++s) {
+      const auto r = bneck::check::run_codec_seed(s);
+      frames += r.frames;
+      mutations += r.mutations;
+      rejected += r.rejected;
+      if (!r.ok()) {
+        ++failures;
+        std::printf("[FAIL] codec seed %" PRIu64 ": %s\n", s,
+                    r.failure.c_str());
+        std::printf("       replay: bneck_check --codec-seeds %" PRIu64 "\n",
+                    s);
+      } else if (args.verbose) {
+        std::printf("[ ok ] codec seed %" PRIu64 ": %" PRIu64
+                    " round-trips, %" PRIu64 " mutations (%" PRIu64
+                    " rejected)\n",
+                    s, r.frames, r.mutations, r.rejected);
+      }
+    }
+    std::printf("bneck_check: codec fuzz, %" PRIu64 " seeds, %" PRIu64
+                " round-trips, %" PRIu64 " mutated/garbage frames (%" PRIu64
+                " rejected), %d failure(s)\n",
+                args.seed_last - args.seed_first + 1, frames, mutations,
+                rejected, failures);
+    return failures > 0 ? 1 : 0;
+  }
+
+  if (args.compliance_mode) {
+    // Sequential on purpose: each seed forks (or threads) its own
+    // daemon; parallelizing would multiplex signals and sockets for no
+    // coverage gain.
+    int failures = 0;
+    std::uint64_t sessions = 0, frames = 0;
+    for (std::uint64_t s = args.seed_first; s <= args.seed_last; ++s) {
+      const auto r = bneck::check::run_compliance_seed(s, args.compliance);
+      sessions += r.sessions_checked;
+      frames += r.wire_frames;
+      if (!r.ok) {
+        ++failures;
+        std::printf("[FAIL] compliance seed %" PRIu64 ": %s\n", s,
+                    r.failure.c_str());
+        std::printf("       replay: bneck_check --compliance %" PRIu64 "\n",
+                    s);
+      } else if (args.verbose) {
+        std::printf("[ ok ] compliance seed %" PRIu64 ": %u session(s), "
+                    "%" PRIu64 " datagrams, %d nudge(s)\n",
+                    s, r.sessions_checked, r.wire_frames, r.nudges);
+      }
+    }
+    std::printf("bneck_check: compliance, %" PRIu64 " seeds, %" PRIu64
+                " sessions checked, %" PRIu64 " datagrams, %d failure(s)\n",
+                args.seed_last - args.seed_first + 1, sessions, frames,
+                failures);
+    return failures > 0 ? 1 : 0;
+  }
+
   if (!args.replay.empty()) {
     const auto scenario = bneck::check::parse_spec(args.replay);
     const auto result = bneck::check::run_scenario(scenario, args.check);

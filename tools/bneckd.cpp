@@ -1,0 +1,117 @@
+// bneckd — the B-Neck router plane as a standalone daemon.
+//
+// Serves one network's RouterLink tasks plus the destination echo over
+// UDP loopback (src/wire format, one frame per datagram); source-node
+// clients (transport/client.hpp) drive sessions against it with
+// Join/Probe/Leave.  The topology comes from a scenario spec — the same
+// `v1 topo=... a=... ...` string bneck_check emits and replays — whose
+// event list, if any, is ignored: bneckd only builds the network.
+//
+//   bneckd --topo "v1 topo=dumbbell a=3"            # ephemeral port
+//   bneckd --topo "v1 topo=parkinglot a=4" --port 47000
+//
+// The daemon prints one `listening on 127.0.0.1:PORT` line to stdout
+// once bound (scripts parse it to find an ephemeral port), serves until
+// a Shutdown frame or SIGINT/SIGTERM, then prints ingress statistics
+// and exits 0 — with every socket closed, which the ASan CI cell
+// checks on the compliance path.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "check/scenario.hpp"
+#include "transport/daemon.hpp"
+
+namespace {
+
+bneck::transport::Daemon* g_daemon = nullptr;
+
+void on_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --topo \"<scenario spec>\" [--port N]\n"
+      "  --topo SPEC   topology, as a bneck_check scenario spec\n"
+      "                (e.g. \"v1 topo=dumbbell a=3\"; events ignored)\n"
+      "  --port N      UDP port on 127.0.0.1 (default 0 = ephemeral)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec;
+  int port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--topo") == 0) {
+      const char* v = next();
+      if (v == nullptr) {
+        usage(argv[0]);
+        return 2;
+      }
+      spec = v;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      const char* v = next();
+      if (v == nullptr) {
+        usage(argv[0]);
+        return 2;
+      }
+      port = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (spec.empty() || port < 0 || port > 65535) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const bneck::check::Scenario sc = bneck::check::parse_spec(spec);
+    const bneck::net::Network net = bneck::check::build_network(sc.topo);
+    bneck::transport::Daemon daemon(net,
+                                    static_cast<std::uint16_t>(port));
+    g_daemon = &daemon;
+    ::signal(SIGINT, on_signal);
+    ::signal(SIGTERM, on_signal);
+
+    std::printf("bneckd: listening on %s (%s, %d links, %d hosts)\n",
+                daemon.endpoint().to_string().c_str(),
+                bneck::check::topo_kind_name(sc.topo.kind), net.link_count(),
+                net.host_count());
+    std::fflush(stdout);
+
+    daemon.serve();
+    g_daemon = nullptr;
+
+    const auto& st = daemon.stats();
+    std::printf("bneckd: exiting; %llu frames accepted, %llu rejected, "
+                "%llu invariant trips, %llu status requests\n",
+                static_cast<unsigned long long>(st.frames_accepted),
+                static_cast<unsigned long long>(st.frames_rejected),
+                static_cast<unsigned long long>(st.invariant_trips),
+                static_cast<unsigned long long>(st.status_requests));
+    if (!daemon.last_reject().empty()) {
+      std::printf("bneckd: last rejection: %s\n",
+                  daemon.last_reject().c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bneckd: %s\n", e.what());
+    return 1;
+  }
+}
