@@ -68,7 +68,24 @@ void reencode(const wire::Frame& f, std::vector<std::uint8_t>& out) {
     case wire::FrameKind::Shutdown:
       wire::encode_shutdown(out);
       return;
+    case wire::FrameKind::Data: {
+      std::vector<std::uint8_t> inner;
+      wire::encode_packet(f.packet, f.path, inner);
+      wire::encode_data(f.seq, inner, out);
+      return;
+    }
+    case wire::FrameKind::Ack:
+      wire::encode_ack(f.seq, out);
+      return;
+    case wire::FrameKind::Heartbeat:
+      wire::encode_heartbeat(f.heartbeat_sessions, out);
+      return;
   }
+}
+
+std::uint64_t random_u64(Rng& rng) {
+  return static_cast<std::uint64_t>(rng.uniform_int(0, 0xffffffff)) << 32 |
+         static_cast<std::uint64_t>(rng.uniform_int(0, 0xffffffff));
 }
 
 }  // namespace
@@ -90,7 +107,17 @@ CodecFuzzResult run_codec_seed(std::uint64_t seed) {
         path = random_path(rng);
         p.hop = 1;  // the only hop a Join enters a daemon at
       }
-      wire::encode_packet(p, path, buf);
+      // Half the packets ride the reliability sublayer: wrapped in a
+      // sequenced Data frame, as every reliable peer sends them.
+      const bool wrapped = rng.chance(0.5);
+      const std::uint64_t seq = random_u64(rng);
+      if (wrapped) {
+        std::vector<std::uint8_t> inner;
+        wire::encode_packet(p, path, inner);
+        wire::encode_data(seq, inner, buf);
+      } else {
+        wire::encode_packet(p, path, buf);
+      }
       const wire::DecodeResult r = wire::decode(buf);
       ++res.frames;
       if (!r.ok()) {
@@ -104,6 +131,11 @@ CodecFuzzResult run_codec_seed(std::uint64_t seed) {
                 core::packet_type_name(p.type));
         break;
       }
+      if (wrapped &&
+          (r.frame.kind != wire::FrameKind::Data || r.frame.seq != seq)) {
+        res.failure = fmt("frame %d: data wrapper did not round-trip", i);
+        break;
+      }
       reencode(r.frame, rebuf);
       if (rebuf != buf) {
         res.failure = fmt("frame %d: re-encode diverged", i);
@@ -112,7 +144,7 @@ CodecFuzzResult run_codec_seed(std::uint64_t seed) {
       corpus.push_back(buf);
     }
     if (res.ok()) {
-      for (int i = 0; i < 3; ++i) {
+      for (int i = 0; i < 5; ++i) {
         buf.clear();
         if (i == 0) {
           wire::encode_status_request(buf);
@@ -123,9 +155,21 @@ CodecFuzzResult run_codec_seed(std::uint64_t seed) {
               static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
           s.packets_seen = static_cast<std::uint64_t>(
               rng.uniform_int(0, std::int64_t{1} << 40));
+          s.retransmissions = static_cast<std::uint64_t>(
+              rng.uniform_int(0, std::int64_t{1} << 40));
+          s.expired_sessions =
+              static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+          for (std::uint32_t& c : s.rejects) {
+            c = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+          }
           wire::encode_status_reply(s, buf);
-        } else {
+        } else if (i == 2) {
           wire::encode_shutdown(buf);
+        } else if (i == 3) {
+          wire::encode_ack(random_u64(rng), buf);
+        } else {
+          wire::encode_heartbeat(
+              static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20)), buf);
         }
         const wire::DecodeResult r = wire::decode(buf);
         ++res.frames;

@@ -43,8 +43,14 @@ std::string fmt(const char* f, auto... args) {
 /// the daemon to shut down before returning.  Empty string on success.
 std::string run_client(const net::Network& net, const Scenario& sc,
                        Endpoint daemon_ep, const ComplianceOptions& opt,
+                       std::optional<transport::FaultConfig> faults,
                        ComplianceResult& res) {
   SourceClient client(net, daemon_ep);
+  std::optional<transport::FaultInjector> injector;
+  if (faults && faults->any()) {
+    injector.emplace(*faults);
+    client.transport().set_fault_injector(&*injector);
+  }
   const net::PathFinder pf(net);
   // Scenario-local session id -> the solver-facing spec of the live
   // session (demand/weight tracked through Change events).
@@ -99,6 +105,10 @@ std::string run_client(const net::Network& net, const Scenario& sc,
     bool converged = false;
     while (now_ms() < deadline) {
       client.poll(1);
+      if (client.failed()) {
+        failure = client.failure();
+        break;
+      }
       if (client.packets_received() != last_rx) {
         last_rx = client.packets_received();
         last_progress = now_ms();
@@ -126,7 +136,7 @@ std::string run_client(const net::Network& net, const Scenario& sc,
         last_seen = st->packets_seen;
       }
     }
-    if (!converged) {
+    if (!converged && failure.empty()) {
       failure = fmt("no convergence within %d ms (%u live sessions)",
                     opt.timeout_ms, client.live_sessions());
     }
@@ -150,9 +160,17 @@ std::string run_client(const net::Network& net, const Scenario& sc,
     res.sessions_checked = static_cast<std::uint32_t>(specs.size());
   }
 
+  if (injector) {
+    // Teardown is not part of the experiment: release everything held
+    // and stop faulting so the Shutdown frame actually lands.
+    injector->disarm();
+    res.client_faults = injector->counters();
+  }
+  client.poll(0);  // flush frames the disarmed injector released
   client.shutdown_daemon();
   res.wire_frames =
       client.transport().datagrams_sent() + client.transport().datagrams_received();
+  res.retransmissions = client.transport().retransmissions();
   return failure;
 }
 
@@ -191,15 +209,32 @@ ComplianceResult run_compliance_scenario(const Scenario& sc_in,
   sc.loss_probability = 0.0;
   normalize(sc);
 
+  // Both sides fault on their own deterministic schedules, derived
+  // from the scenario seed when the config leaves seed = 0.
+  std::optional<transport::FaultConfig> client_faults;
+  std::optional<transport::FaultConfig> daemon_faults;
+  if (opt.faults && opt.faults->any()) {
+    client_faults = *opt.faults;
+    daemon_faults = *opt.faults;
+    if (opt.faults->seed == 0) {
+      client_faults->seed = sc.seed * 0x9e3779b97f4a7c15ull + 1;
+      daemon_faults->seed = sc.seed * 0x9e3779b97f4a7c15ull + 2;
+    } else {
+      daemon_faults->seed = opt.faults->seed + 1;
+    }
+  }
+
   std::string failure;
   try {
     const net::Network net = build_network(sc.topo);
-    auto daemon = std::make_unique<Daemon>(net, 0);
+    transport::DaemonOptions dopt;
+    dopt.faults = daemon_faults;
+    auto daemon = std::make_unique<Daemon>(net, dopt);
     const Endpoint ep = daemon->endpoint();
 
     if (opt.threaded) {
       std::thread server([&daemon] { daemon->serve(); });
-      failure = run_client(net, sc, ep, opt, res);
+      failure = run_client(net, sc, ep, opt, client_faults, res);
       daemon->request_stop();  // backstop if the Shutdown frame was lost
       server.join();
     } else {
@@ -219,7 +254,7 @@ ComplianceResult run_compliance_scenario(const Scenario& sc_in,
         ::_exit(code);
       } else {
         daemon.reset();  // close the parent's copy of the daemon socket
-        failure = run_client(net, sc, ep, opt, res);
+        failure = run_client(net, sc, ep, opt, client_faults, res);
         append_failure(failure, reap_daemon(pid));
       }
     }

@@ -11,8 +11,17 @@
 // centralized max-min solver (core/maxmin.hpp) within kRateCheckEps.
 //
 // Scenarios are forced into the daemon's deployment envelope first:
-// dedicated access mode (clients own their access links) and a lossless
-// wire (loopback; the client's nudge path covers residual drops).
+// dedicated access mode (clients own their access links) and, by
+// default, a lossless wire.  Compliance-under-faults (`--compliance
+// --faults`) instead interposes a deterministic transport::
+// FaultInjector on BOTH egress paths — client and daemon — so every
+// frame family crosses a network that drops, duplicates, reorders,
+// delays and bit-corrupts datagrams, and the converged rates must
+// still match the centralized solver: the reliability sublayer
+// (transport/reliable.hpp) is what is actually under test.  Fault
+// schedules are pure functions of the scenario seed, so a failure
+// replays exactly.  The client's injector is disarmed before the
+// Shutdown handshake — teardown is not part of the experiment.
 //
 // Two isolation levels: fork mode spawns the daemon as a child process
 // (true multi-process, the CI smoke) and thread mode runs its serve
@@ -21,9 +30,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "check/scenario.hpp"
+#include "transport/fault.hpp"
 
 namespace bneck::check {
 
@@ -34,6 +45,9 @@ struct ComplianceOptions {
   bool threaded = false;
   /// Stall-recovery re-probes before giving up.
   int max_nudges = 3;
+  /// Fault schedule for both egress paths; seed 0 means "derive from
+  /// the scenario seed".  Disabled when absent or all-zero.
+  std::optional<transport::FaultConfig> faults;
 };
 
 struct ComplianceResult {
@@ -42,7 +56,11 @@ struct ComplianceResult {
   std::uint64_t seed = 0;
   std::uint32_t sessions_checked = 0;  // live sessions compared to solver
   std::uint64_t wire_frames = 0;       // datagrams the client exchanged
+  std::uint64_t retransmissions = 0;   // client-side reliable re-sends
   int nudges = 0;
+  /// What the client-side injector did (zeroes when faults are off;
+  /// the daemon side keeps its own schedule and counters).
+  transport::FaultCounters client_faults;
 
   [[nodiscard]] explicit operator bool() const { return ok; }
 };

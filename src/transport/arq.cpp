@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "transport/seqnum.hpp"
+
 namespace bneck::transport {
 
 ArqChannel::ArqChannel(sim::Simulator& sim, sim::FifoChannel& data_channel,
@@ -25,18 +27,24 @@ ArqChannel::ArqChannel(sim::Simulator& sim, sim::FifoChannel& data_channel,
   BNECK_EXPECT(cfg_.window >= 1, "ARQ window must be positive");
   BNECK_EXPECT(cfg_.loss_probability >= 0.0 && cfg_.loss_probability < 1.0,
                "loss probability must be in [0,1)");
+  BNECK_EXPECT(cfg_.backoff >= 1.0, "backoff must be >= 1");
   if (cfg_.timeout == 0) {
     // 4x the round trip (data out, ack back) plus a floor so zero-delay
     // test links still get a sane timer.
     cfg_.timeout = std::max<TimeNs>(
         4 * (data_tx_ + data_prop_ + ack_tx_ + ack_prop_), microseconds(10));
   }
+  rto_ = cfg_.timeout;
+  next_seq_ = cfg_.first_seq;
+  send_base_ = cfg_.first_seq;
+  expected_ = cfg_.first_seq;
 }
 
 void ArqChannel::send(Packet p) {
   window_.push_back(InFlight{next_seq_++, p, false});
   // Transmit immediately if inside the sender window.
-  if (window_.back().seq < send_base_ + static_cast<std::uint64_t>(cfg_.window)) {
+  if (seq_lt(window_.back().seq,
+             send_base_ + static_cast<std::uint64_t>(cfg_.window))) {
     wire_send_data(window_.back());
   }
   arm_timer();
@@ -78,14 +86,18 @@ void ArqChannel::send_ack() {
 }
 
 void ArqChannel::on_ack(std::uint64_t cumulative) {
-  if (cumulative <= send_base_) return;  // stale
-  while (!window_.empty() && window_.front().seq < cumulative) {
+  if (seq_le(cumulative, send_base_)) return;  // stale
+  while (!window_.empty() && seq_lt(window_.front().seq, cumulative)) {
     window_.pop_front();
   }
   send_base_ = cumulative;
+  rto_ = cfg_.timeout;  // ack progress resets the backoff
   // Window slid forward: transmit newly admitted packets.
   for (auto& entry : window_) {
-    if (entry.seq >= send_base_ + static_cast<std::uint64_t>(cfg_.window)) break;
+    if (!seq_lt(entry.seq,
+                send_base_ + static_cast<std::uint64_t>(cfg_.window))) {
+      break;
+    }
     if (!entry.on_wire) wire_send_data(entry);
   }
   if (window_.empty()) {
@@ -102,8 +114,7 @@ void ArqChannel::arm_timer() {
   if (timer_armed_ || window_.empty()) return;
   timer_armed_ = true;
   const std::uint64_t generation = timer_generation_;
-  sim_.schedule_in(cfg_.timeout,
-                   [this, generation] { on_timeout(generation); });
+  sim_.schedule_in(rto_, [this, generation] { on_timeout(generation); });
 }
 
 void ArqChannel::on_timeout(std::uint64_t generation) {
@@ -112,8 +123,15 @@ void ArqChannel::on_timeout(std::uint64_t generation) {
   timer_armed_ = false;
   ++timer_generation_;
   for (auto& entry : window_) {
-    if (entry.seq >= send_base_ + static_cast<std::uint64_t>(cfg_.window)) break;
+    if (!seq_lt(entry.seq,
+                send_base_ + static_cast<std::uint64_t>(cfg_.window))) {
+      break;
+    }
     wire_send_data(entry);
+  }
+  if (cfg_.backoff > 1.0) {
+    rto_ = static_cast<TimeNs>(static_cast<double>(rto_) * cfg_.backoff);
+    if (cfg_.max_timeout > 0) rto_ = std::min(rto_, cfg_.max_timeout);
   }
   arm_timer();
 }

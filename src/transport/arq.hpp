@@ -36,6 +36,16 @@ struct ArqConfig {
   std::int32_t window = 32;
   /// Retransmission timeout; 0 = derive 4x RTT from the link parameters.
   TimeNs timeout = 0;
+  /// Timeout multiplier per silent retransmission round; 1 keeps the
+  /// classic fixed-interval behavior.  Any ack progress resets to the
+  /// base timeout.
+  double backoff = 1.0;
+  /// Backoff ceiling; 0 = uncapped.
+  TimeNs max_timeout = 0;
+  /// Initial sequence number.  Comparisons use serial-number arithmetic
+  /// (transport/seqnum.hpp), so a channel started near 2^64 wraps
+  /// through zero without stalling or re-delivering.
+  std::uint64_t first_seq = 0;
 };
 
 class ArqChannel {
@@ -114,6 +124,7 @@ class ArqChannel {
   std::uint64_t send_base_ = 0;   // lowest unacked sequence number
   std::uint64_t expected_ = 0;    // receiver: next in-order sequence
   std::uint64_t timer_generation_ = 0;
+  TimeNs rto_ = 0;                // current (possibly backed-off) timeout
   bool timer_armed_ = false;
 
   DataRx data_rx_;

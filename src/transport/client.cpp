@@ -8,10 +8,12 @@ using core::Packet;
 using core::PacketType;
 using core::SourceNode;
 
-SourceClient::SourceClient(const net::Network& net, Endpoint daemon)
-    : net_(net), transport_(0), daemon_(daemon) {
+SourceClient::SourceClient(const net::Network& net, Endpoint daemon,
+                           const ClientOptions& opts)
+    : net_(net), opts_(opts), transport_(0), daemon_(daemon) {
   transport_.bind(*this);
   transport_.set_peer(daemon_);
+  transport_.enable_reliability(opts_.reliability);
   transport_.set_join_path_lookup(
       [this](SessionId s) -> std::span<const LinkId> {
         const auto it = sessions_.find(s);
@@ -87,7 +89,18 @@ void SourceClient::leave(SessionId s) {
   --live_;
 }
 
+void SourceClient::tick() {
+  if (opts_.heartbeat_period <= 0) return;
+  const TimeNs t = transport_.now();
+  if (t < next_heartbeat_) return;
+  next_heartbeat_ = t + opts_.heartbeat_period;
+  std::vector<std::uint8_t> buf;
+  wire::encode_heartbeat(live_, buf);
+  transport_.send_frame(daemon_, buf);
+}
+
 std::size_t SourceClient::poll(int timeout_ms) {
+  tick();
   return transport_.pump(timeout_ms);
 }
 
@@ -97,12 +110,24 @@ std::optional<wire::StatusReply> SourceClient::query_status(int timeout_ms) {
   if (!transport_.send_frame(daemon_, buf)) return std::nullopt;
   const std::uint64_t before = status_replies_;
   // Budgeted wait: each pump blocks at most 1 ms, so packet traffic
-  // keeps flowing while we wait for the reply.
+  // keeps flowing while we wait for the reply.  A StatusRequest can be
+  // eaten by the (unreliable, possibly faulted) control path, so re-ask
+  // periodically instead of waiting the whole budget on one datagram.
   for (int waited = 0; waited <= timeout_ms; ++waited) {
+    tick();
     transport_.pump(1);
     if (status_replies_ > before) return last_status_;
+    if (failed()) return std::nullopt;
+    if (waited > 0 && waited % 50 == 0) transport_.send_frame(daemon_, buf);
   }
   return std::nullopt;
+}
+
+std::string SourceClient::failure() const {
+  if (!failed()) return "";
+  return "daemon " + daemon_.to_string() +
+         " unreachable: retransmission budget exhausted with no "
+         "acknowledgement";
 }
 
 void SourceClient::nudge() {

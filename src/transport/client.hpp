@@ -13,10 +13,17 @@
 // outside poll()/query_status().  Convergence is observed from both
 // sides: converged() requires every live source stable with its rate
 // certified (bneck_rcv) AND the daemon's StatusReply to report a stable
-// router plane.  There is no wire-level ARQ on the loopback path; if a
-// datagram is dropped the protocol stalls, and nudge() restarts the
-// probe cycle of every live session (API.Change with the current
-// demand), which re-converges from any state.
+// router plane.
+//
+// Since PR 7 every packet rides a reliable channel (transport/
+// reliable.hpp): a dropped Join or Probe is retransmitted with
+// exponential backoff instead of stalling the protocol, and a daemon
+// that stays silent through the retry budget surfaces as failed() — a
+// terminal, queryable error in place of the old hung-Join hang.
+// nudge() remains as a belt-and-braces restart of every live session's
+// probe cycle.  poll() also emits periodic Heartbeat beacons so the
+// daemon's liveness sweep (DaemonOptions::session_expiry) can tell a
+// quiet-but-alive client from a crashed one.
 #pragma once
 
 #include <cstdint>
@@ -30,11 +37,19 @@
 
 namespace bneck::transport {
 
+struct ClientOptions {
+  /// Retransmit tuning for the reliable channel to the daemon.
+  ReliableConfig reliability;
+  /// Liveness beacon period (sent from poll()); 0 disables beacons.
+  TimeNs heartbeat_period = milliseconds(50);
+};
+
 class SourceClient final : public core::Transport, public TransportSink {
  public:
   /// The network is the client's copy of the topology (for access-link
   /// capacities); it must outlive the client.
-  SourceClient(const net::Network& net, Endpoint daemon);
+  SourceClient(const net::Network& net, Endpoint daemon,
+               const ClientOptions& opts = {});
 
   SourceClient(const SourceClient&) = delete;
   SourceClient& operator=(const SourceClient&) = delete;
@@ -59,6 +74,13 @@ class SourceClient final : public core::Transport, public TransportSink {
 
   /// Asks the daemon to exit its serve loop.
   bool shutdown_daemon();
+
+  /// Terminal transport failure: the daemon stayed silent through the
+  /// whole retransmission budget.  Once set it never clears; callers
+  /// should stop polling and surface failure() instead of hanging.
+  [[nodiscard]] bool failed() const { return transport_.peer_failed(); }
+  /// Human-readable description of the terminal failure ("" if none).
+  [[nodiscard]] std::string failure() const;
 
   /// Every live source is stable and has its rate certified.
   [[nodiscard]] bool sources_stable() const;
@@ -92,10 +114,14 @@ class SourceClient final : public core::Transport, public TransportSink {
   };
 
   SessionRec& rec_of(SessionId s);
+  /// Emits a Heartbeat beacon when one is due.
+  void tick();
 
   const net::Network& net_;
+  ClientOptions opts_;
   UdpTransport transport_;
   Endpoint daemon_;
+  TimeNs next_heartbeat_ = 0;
 
   Slab<core::SourceNode> sources_;
   std::unordered_map<SessionId, SessionRec> sessions_;

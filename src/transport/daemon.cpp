@@ -1,5 +1,7 @@
 #include "transport/daemon.hpp"
 
+#include <cstdio>
+
 #include "base/expect.hpp"
 
 namespace bneck::transport {
@@ -8,12 +10,19 @@ using core::Packet;
 using core::PacketType;
 using core::ResponseTag;
 using core::RouterLink;
+using wire::RejectReason;
 
-Daemon::Daemon(const net::Network& net, std::uint16_t port)
+Daemon::Daemon(const net::Network& net, const DaemonOptions& opts)
     : net_(net),
-      transport_(port),
+      opts_(opts),
+      transport_(opts.port),
       link_slot_(static_cast<std::size_t>(net.link_count()), -1) {
   transport_.bind(*this);
+  transport_.enable_reliability(opts_.reliability);
+  if (opts_.faults && opts_.faults->any()) {
+    fault_.emplace(*opts_.faults);
+    transport_.set_fault_injector(&*fault_);
+  }
   transport_.set_peer_resolver([this](const Packet& p) -> const Endpoint* {
     const auto it = sessions_.find(p.session);
     return it == sessions_.end() ? nullptr : &it->second.client;
@@ -32,6 +41,9 @@ void Daemon::serve() {
 bool Daemon::step(int timeout_ms) {
   if (!running_) return false;
   transport_.pump(timeout_ms);
+  const TimeNs t = transport_.now();
+  if (opts_.session_expiry > 0) sweep_liveness(t);
+  if (opts_.summary_period > 0) maybe_summary(t);
   return running_;
 }
 
@@ -40,6 +52,85 @@ bool Daemon::stable() const {
     if (!link_arena_[i].stable()) return false;
   }
   return true;
+}
+
+wire::StatusReply Daemon::status_reply() const {
+  wire::StatusReply s;
+  s.stable = stable();
+  s.active_sessions = live_;
+  s.packets_seen = stats_.frames_accepted;
+  s.retransmissions = transport_.retransmissions();
+  s.expired_sessions = stats_.expired_sessions;
+  s.rejects = stats_.rejects;
+  // Transport-level drops are counted where they happen; merge them
+  // into the wire snapshot so one reply shows the whole ingress story.
+  const auto reason_slot = [&s](RejectReason r) -> std::uint32_t& {
+    return s.rejects[static_cast<std::size_t>(r)];
+  };
+  reason_slot(RejectReason::DecodeError) +=
+      static_cast<std::uint32_t>(transport_.decode_errors());
+  reason_slot(RejectReason::StaleFrame) +=
+      static_cast<std::uint32_t>(transport_.duplicates_dropped());
+  reason_slot(RejectReason::TooManyPeers) +=
+      static_cast<std::uint32_t>(transport_.too_many_peers());
+  return s;
+}
+
+void Daemon::sweep_liveness(TimeNs t) {
+  if (t < next_sweep_) return;
+  // Sweeping at a quarter of the expiry keeps the overdue window small
+  // without scanning every step.
+  next_sweep_ = t + opts_.session_expiry / 4 + 1;
+  for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+    if (t - it->second < opts_.session_expiry) {
+      ++it;
+      continue;
+    }
+    const Endpoint gone = it->first;
+    it = last_seen_.erase(it);
+    // Reap every live session this client owned by synthesizing the
+    // Leave its source task would have sent, so the router plane
+    // releases capacity through the ordinary protocol path.
+    for (auto& [sid, rec] : sessions_) {
+      if (!rec.live || !(rec.client == gone)) continue;
+      rec.live = false;
+      --live_;
+      ++stats_.expired_sessions;
+      Packet leave;
+      leave.type = PacketType::Leave;
+      leave.session = sid;
+      leave.hop = 1;
+      try {
+        deliver(leave);
+      } catch (const InvariantError& e) {
+        ++stats_.invariant_trips;
+        count_reject({RejectReason::InvariantTrip, e.what()});
+      }
+    }
+  }
+}
+
+void Daemon::maybe_summary(TimeNs t) {
+  if (t < next_summary_) return;
+  next_summary_ = t + opts_.summary_period;
+  std::string rejects;
+  for (int i = 0; i < wire::kRejectReasonCount; ++i) {
+    const std::uint32_t n = stats_.rejects[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    rejects += ' ';
+    rejects += wire::reject_reason_name(static_cast<RejectReason>(i));
+    rejects += '=';
+    rejects += std::to_string(n);
+  }
+  std::fprintf(stderr,
+               "bneckd: sessions=%u accepted=%llu rejected=%llu "
+               "retx=%llu expired=%u%s\n",
+               live_,
+               static_cast<unsigned long long>(stats_.frames_accepted),
+               static_cast<unsigned long long>(stats_.frames_rejected),
+               static_cast<unsigned long long>(transport_.retransmissions()),
+               stats_.expired_sessions,
+               rejects.empty() ? " rejects=none" : rejects.c_str());
 }
 
 RouterLink& Daemon::router_link_at(LinkId e) {
@@ -76,19 +167,26 @@ const char* Daemon::validate_join_path(const std::vector<LinkId>& path) const {
   return nullptr;
 }
 
-const char* Daemon::ingress(const wire::Frame& f, const Endpoint& from) {
+std::optional<Daemon::Reject> Daemon::ingress(const wire::Frame& f,
+                                              const Endpoint& from) {
   const Packet& p = f.packet;
   if (!core::is_downstream(p.type)) {
-    return "upstream packet type from a peer";
+    return Reject{RejectReason::UpstreamType,
+                  "upstream packet type from a peer"};
   }
   if (p.eta.valid() && p.eta.value() >= net_.link_count()) {
-    return "eta references unknown link";
+    return Reject{RejectReason::BadEta, "eta references unknown link"};
   }
   if (p.type == PacketType::Join) {
-    if (p.hop != 1) return "join must enter at hop 1";
-    if (const char* err = validate_join_path(f.path)) return err;
+    if (p.hop != 1) {
+      return Reject{RejectReason::BadJoinHop, "join must enter at hop 1"};
+    }
+    if (const char* err = validate_join_path(f.path)) {
+      return Reject{RejectReason::BadJoinPath, err};
+    }
     if (sessions_.contains(p.session)) {
-      return "session ids are single-use (no re-join)";
+      return Reject{RejectReason::ReJoin,
+                    "session ids are single-use (no re-join)"};
     }
     SessionRec rec;
     rec.path.links = f.path;
@@ -97,46 +195,59 @@ const char* Daemon::ingress(const wire::Frame& f, const Endpoint& from) {
     ++live_;
   } else {
     const auto it = sessions_.find(p.session);
-    if (it == sessions_.end()) return "packet for unknown session";
-    if (!it->second.live) return "packet for departed session";
+    if (it == sessions_.end()) {
+      return Reject{RejectReason::UnknownSession,
+                    "packet for unknown session"};
+    }
+    if (!it->second.live) {
+      return Reject{RejectReason::DepartedSession,
+                    "packet for departed session"};
+    }
     const auto len = static_cast<std::int32_t>(it->second.path.links.size());
-    if (p.hop < 1 || p.hop > len) return "hop outside session path";
+    if (p.hop < 1 || p.hop > len) {
+      return Reject{RejectReason::BadHop, "hop outside session path"};
+    }
     if (p.type == PacketType::Leave) {
       it->second.live = false;
       --live_;
     }
   }
   deliver(p);
-  return nullptr;
+  return std::nullopt;
+}
+
+void Daemon::count_reject(const Reject& r) {
+  ++stats_.frames_rejected;
+  ++stats_.rejects[static_cast<std::size_t>(r.reason)];
+  last_reject_ = r.what;
 }
 
 void Daemon::on_frame(const wire::Frame& f, const Endpoint& from) {
+  last_seen_[from] = transport_.now();
   switch (f.kind) {
     case wire::FrameKind::Packet: {
-      const char* err = nullptr;
+      std::optional<Reject> rej;
       try {
-        err = ingress(f, from);
+        rej = ingress(f, from);
       } catch (const InvariantError& e) {
         ++stats_.invariant_trips;
-        last_reject_ = e.what();
+        count_reject({RejectReason::InvariantTrip, e.what()});
         return;
       }
-      if (err != nullptr) {
-        ++stats_.frames_rejected;
-        last_reject_ = err;
+      if (rej) {
+        count_reject(*rej);
       } else {
         ++stats_.frames_accepted;
       }
       return;
     }
+    case wire::FrameKind::Heartbeat:
+      ++stats_.heartbeats;  // liveness refresh already recorded above
+      return;
     case wire::FrameKind::StatusRequest: {
       ++stats_.status_requests;
-      wire::StatusReply s;
-      s.stable = stable();
-      s.active_sessions = live_;
-      s.packets_seen = stats_.frames_accepted;
       std::vector<std::uint8_t> buf;
-      wire::encode_status_reply(s, buf);
+      wire::encode_status_reply(status_reply(), buf);
       transport_.send_frame(from, buf);
       return;
     }
@@ -145,6 +256,9 @@ void Daemon::on_frame(const wire::Frame& f, const Endpoint& from) {
     case wire::FrameKind::Shutdown:
       running_ = false;
       return;
+    case wire::FrameKind::Data:
+    case wire::FrameKind::Ack:
+      return;  // consumed inside UdpTransport, never surfaced here
   }
 }
 
@@ -153,7 +267,7 @@ void Daemon::on_packet(const Packet& p) {
     deliver(p);
   } catch (const InvariantError& e) {
     ++stats_.invariant_trips;
-    last_reject_ = e.what();
+    count_reject({RejectReason::InvariantTrip, e.what()});
   }
 }
 

@@ -1,0 +1,36 @@
+// An IPv4/UDP address in host byte order.
+//
+// Split out of transport/udp.hpp so datagram-level helpers that name
+// destinations without owning sockets (transport/fault.hpp) need no
+// socket header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bneck::transport {
+
+struct Endpoint {
+  std::uint32_t addr = 0;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] static Endpoint loopback(std::uint16_t port);
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+struct EndpointHash {
+  [[nodiscard]] std::size_t operator()(const Endpoint& e) const {
+    // splitmix-style scramble of the 48 meaningful bits.
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(e.addr) << 16) | e.port;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x * 0x94d049bb133111ebull);
+  }
+};
+
+}  // namespace bneck::transport

@@ -1,0 +1,31 @@
+// Serial-number arithmetic for ARQ sequence numbers (RFC 1982 style).
+//
+// Both reliability layers — the simulator-driven ArqChannel and the
+// wall-clock ReliableChannel — number frames with unsigned 64-bit
+// sequence numbers that are compared *modulo 2^64*: a - b interpreted
+// as a signed distance.  At protocol rates a 64-bit counter never wraps
+// in practice, but the state machines must not depend on that (the
+// wraparound tests in tests/arq_test.cpp start channels a few frames
+// below 2^64), and serial comparisons cost the same as plain ones.
+#pragma once
+
+#include <cstdint>
+
+namespace bneck::transport {
+
+/// a < b in serial-number order (true when a is at most 2^63-1 behind b).
+[[nodiscard]] constexpr bool seq_lt(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::int64_t>(a - b) < 0;
+}
+
+[[nodiscard]] constexpr bool seq_le(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::int64_t>(a - b) <= 0;
+}
+
+/// Signed distance from b to a (a - b mod 2^64, as int64).
+[[nodiscard]] constexpr std::int64_t seq_distance(std::uint64_t a,
+                                                  std::uint64_t b) {
+  return static_cast<std::int64_t>(a - b);
+}
+
+}  // namespace bneck::transport

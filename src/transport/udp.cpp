@@ -7,6 +7,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
@@ -39,10 +40,17 @@ int open_udp_socket() {
   return fd;
 }
 
+TimeNs monotonic_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<TimeNs>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
 // One wire frame per datagram; the largest legal frame is a Join with
-// kMaxPathLinks path entries.
+// kMaxPathLinks path entries wrapped in a checksummed Data frame.
 constexpr std::size_t kMaxDatagram =
-    wire::kPacketFrameBytes + 4 * wire::kMaxPathLinks;
+    wire::kDataPrefixBytes + wire::kPacketFrameBytes +
+    4 * wire::kMaxPathLinks + wire::kChecksumBytes;
 
 }  // namespace
 
@@ -86,25 +94,56 @@ Endpoint UdpSocket::local_endpoint() const {
 bool UdpSocket::send_to(const Endpoint& to,
                         std::span<const std::uint8_t> bytes) {
   const sockaddr_in sa = to_sockaddr(to);
-  const auto n = ::sendto(fd_, bytes.data(), bytes.size(), 0,
-                          reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
-  return n == static_cast<std::ptrdiff_t>(bytes.size());
+  for (;;) {
+    const auto n =
+        ::sendto(fd_, bytes.data(), bytes.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    if (n >= 0) return n == static_cast<std::ptrdiff_t>(bytes.size());
+    if (errno == EINTR) continue;
+    // EAGAIN (full buffer) and ECONNREFUSED (queued ICMP from a peer
+    // that went away) are wire loss, not process errors.
+    return false;
+  }
 }
 
 std::ptrdiff_t UdpSocket::recv_from(std::span<std::uint8_t> buf,
                                     Endpoint& from) {
-  sockaddr_in sa{};
-  socklen_t len = sizeof sa;
-  const auto n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
-                            reinterpret_cast<sockaddr*>(&sa), &len);
-  if (n < 0) return -1;  // EAGAIN and friends: nothing queued
-  from = from_sockaddr(sa);
-  return n;
+  for (;;) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    const auto n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                              reinterpret_cast<sockaddr*>(&sa), &len);
+    if (n >= 0) {
+      from = from_sockaddr(sa);
+      return n;
+    }
+    if (errno == EINTR) continue;
+    // A queued ICMP error consumes one recvfrom; retry for real data
+    // (the kernel error queue is finite, so this terminates).
+    if (errno == ECONNREFUSED) continue;
+    return -1;  // EAGAIN and friends: nothing queued
+  }
 }
 
 bool UdpSocket::wait_readable(int timeout_ms) {
+  const TimeNs deadline =
+      timeout_ms < 0 ? kTimeNever
+                     : monotonic_now() + milliseconds(timeout_ms);
   pollfd pfd{fd_, POLLIN, 0};
-  return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN) != 0;
+  for (;;) {
+    int remaining = -1;
+    if (deadline != kTimeNever) {
+      const TimeNs left = deadline - monotonic_now();
+      if (left <= 0) return false;
+      remaining = static_cast<int>((left + 999'999) / 1'000'000);
+    }
+    const int rc = ::poll(&pfd, 1, remaining);
+    if (rc > 0) return (pfd.revents & POLLIN) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+    // EINTR: re-derive the remaining budget from the monotonic
+    // deadline instead of restarting the full timeout.
+  }
 }
 
 UdpTransport::UdpTransport(std::uint16_t port) : socket_(port) {}
@@ -114,10 +153,42 @@ void UdpTransport::bind(TransportSink& sink) {
   sink_ = &sink;
 }
 
-TimeNs UdpTransport::now() const {
-  timespec ts{};
-  clock_gettime(CLOCK_MONOTONIC, &ts);
-  return static_cast<TimeNs>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+TimeNs UdpTransport::now() const { return monotonic_now(); }
+
+void UdpTransport::enable_reliability(const ReliableConfig& cfg) {
+  BNECK_EXPECT(channels_.empty(), "enable_reliability after traffic");
+  reliable_ = true;
+  reliable_cfg_ = cfg;
+}
+
+ReliableChannel* UdpTransport::channel_for(const Endpoint& ep) {
+  const auto it = channels_.find(ep);
+  if (it != channels_.end()) return &it->second;
+  if (channels_.size() >= kMaxPeers) {
+    ++too_many_peers_;
+    return nullptr;
+  }
+  ReliableConfig cfg = reliable_cfg_;
+  cfg.seed = reliable_cfg_.seed ^ EndpointHash{}(ep);  // decorrelate jitter
+  const auto [pos, inserted] = channels_.try_emplace(
+      ep, cfg, [this, ep](std::span<const std::uint8_t> bytes) {
+        raw_send(ep, bytes);
+        return true;  // a refused datagram is wire loss; timers repair it
+      });
+  return &pos->second;
+}
+
+void UdpTransport::raw_send(const Endpoint& to,
+                            std::span<const std::uint8_t> bytes) {
+  if (fault_ != nullptr) {
+    fault_->process(now(), to, bytes,
+                    [this](const Endpoint& t,
+                           std::span<const std::uint8_t> b) {
+                      if (socket_.send_to(t, b)) ++datagrams_sent_;
+                    });
+    return;
+  }
+  if (socket_.send_to(to, bytes)) ++datagrams_sent_;
 }
 
 void UdpTransport::send(LinkId physical, const core::Packet& p) {
@@ -137,7 +208,12 @@ void UdpTransport::send(LinkId physical, const core::Packet& p) {
     wire::encode_packet(p, encode_buf_);
   }
   sink_->on_wire(p, physical);
-  if (socket_.send_to(*to, encode_buf_)) ++datagrams_sent_;
+  if (reliable_) {
+    ReliableChannel* ch = channel_for(*to);
+    if (ch != nullptr) ch->send(encode_buf_, now());
+    return;
+  }
+  raw_send(*to, encode_buf_);
 }
 
 void UdpTransport::local(const core::Packet& p) {
@@ -147,9 +223,8 @@ void UdpTransport::local(const core::Packet& p) {
 
 bool UdpTransport::send_frame(const Endpoint& to,
                               std::span<const std::uint8_t> bytes) {
-  const bool ok = socket_.send_to(to, bytes);
-  if (ok) ++datagrams_sent_;
-  return ok;
+  raw_send(to, bytes);
+  return true;
 }
 
 void UdpTransport::drain_local() {
@@ -167,12 +242,32 @@ std::size_t UdpTransport::drain_socket() {
   std::ptrdiff_t n;
   while ((n = socket_.recv_from(buf, from)) >= 0) {
     ++datagrams_received_;
-    const wire::DecodeResult r =
+    wire::DecodeResult r =
         wire::decode({buf.data(), static_cast<std::size_t>(n)});
     if (!r.ok()) {
       ++decode_errors_;
       last_decode_error_ = r.error;
       continue;
+    }
+    if (r.frame.kind == wire::FrameKind::Ack) {
+      // Bookkeeping only: advance the sender window of an existing
+      // channel.  An ack from a stranger allocates nothing.
+      const auto it = channels_.find(from);
+      if (it != channels_.end()) it->second.on_ack(r.frame.seq, now());
+      continue;
+    }
+    if (r.frame.kind == wire::FrameKind::Data) {
+      ReliableChannel* ch = channel_for(from);
+      if (ch == nullptr) continue;  // peer table full, counted
+      const bool fresh = ch->on_data(r.frame.seq);
+      // Ack every arrival — fresh or stale — so a lost ack is repaired
+      // by the retransmission it provokes.
+      ack_buf_.clear();
+      wire::encode_ack(ch->expected(), ack_buf_);
+      raw_send(from, ack_buf_);
+      ++acks_sent_;
+      if (!fresh) continue;  // duplicate/out-of-order: channel counted it
+      r.frame.kind = wire::FrameKind::Packet;  // deliver the inner packet
     }
     ++processed;
     if (frame_handler_) {
@@ -185,15 +280,66 @@ std::size_t UdpTransport::drain_socket() {
   return processed;
 }
 
+std::size_t UdpTransport::service_timers(TimeNs t) {
+  std::size_t fired = 0;
+  for (auto& [ep, ch] : channels_) fired += ch.poll(t);
+  if (fault_ != nullptr) {
+    fault_->flush(t, [this](const Endpoint& to,
+                            std::span<const std::uint8_t> b) {
+      if (socket_.send_to(to, b)) ++datagrams_sent_;
+    });
+  }
+  return fired;
+}
+
+TimeNs UdpTransport::next_timer_deadline() const {
+  TimeNs due = kTimeNever;
+  for (const auto& [ep, ch] : channels_) {
+    due = std::min(due, ch.next_deadline());
+  }
+  if (fault_ != nullptr) due = std::min(due, fault_->next_due());
+  return due;
+}
+
 std::size_t UdpTransport::pump(int timeout_ms) {
   BNECK_EXPECT(sink_ != nullptr, "transport not bound");
   std::size_t processed = pending_.size();
   drain_local();
   processed += drain_socket();
-  if (processed == 0 && timeout_ms > 0 && socket_.wait_readable(timeout_ms)) {
-    processed += drain_socket();
+  service_timers(now());
+  if (processed == 0 && timeout_ms > 0) {
+    int wait_ms = timeout_ms;
+    const TimeNs due = next_timer_deadline();
+    if (due != kTimeNever) {
+      const TimeNs left = due - now();
+      // Wake for the earliest retransmit/flush deadline, at least 1ms
+      // so a hot loop still yields the CPU.
+      wait_ms = std::clamp(
+          static_cast<int>((left + 999'999) / 1'000'000), 1, timeout_ms);
+    }
+    if (socket_.wait_readable(wait_ms)) processed += drain_socket();
+    service_timers(now());
   }
   return processed;
+}
+
+std::uint64_t UdpTransport::retransmissions() const {
+  std::uint64_t n = 0;
+  for (const auto& [ep, ch] : channels_) n += ch.retransmissions();
+  return n;
+}
+
+std::uint64_t UdpTransport::duplicates_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& [ep, ch] : channels_) n += ch.duplicates_dropped();
+  return n;
+}
+
+bool UdpTransport::peer_failed() const {
+  for (const auto& [ep, ch] : channels_) {
+    if (ch.failed()) return true;
+  }
+  return false;
 }
 
 }  // namespace bneck::transport

@@ -10,35 +10,36 @@
 // pump().
 //
 // Unlike SimTransport there is no virtual time and no loss model: the
-// clock is CLOCK_MONOTONIC and reliability is whatever the kernel
-// loopback path provides (clients re-probe on stall; see
-// transport/client.hpp).  Decode failures are counted and dropped —
-// a hostile or corrupted datagram must never take the process down.
+// clock is CLOCK_MONOTONIC.  Reliability is explicit since PR 7:
+// enable_reliability() routes outbound Packet frames through a per-peer
+// transport::ReliableChannel (Data/Ack frames, retransmit timers,
+// dedup), and set_fault_injector() interposes a deterministic lossy
+// network on every egress datagram — including acks and control frames
+// — so the repair machinery is exercised end to end.  Inbound Data
+// frames are always handled (acked, deduplicated, delivered in order)
+// whether or not outbound reliability is on, and bare Packet frames
+// remain accepted for tests and hostile-ingress probing.  Decode
+// failures are counted and dropped — a hostile or corrupted datagram
+// must never take the process down.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/packet.hpp"
+#include "transport/endpoint.hpp"
+#include "transport/fault.hpp"
+#include "transport/reliable.hpp"
 #include "transport/transport.hpp"
 #include "wire/codec.hpp"
 
 namespace bneck::transport {
-
-/// An IPv4/UDP address in host byte order.
-struct Endpoint {
-  std::uint32_t addr = 0;
-  std::uint16_t port = 0;
-
-  [[nodiscard]] static Endpoint loopback(std::uint16_t port);
-  [[nodiscard]] std::string to_string() const;
-
-  friend bool operator==(const Endpoint&, const Endpoint&) = default;
-};
 
 /// Nonblocking UDP socket, closed on destruction (the ASan CI cell
 /// watches daemon shutdown for fd leaks).
@@ -58,16 +59,20 @@ class UdpSocket {
   [[nodiscard]] int fd() const { return fd_; }
   [[nodiscard]] Endpoint local_endpoint() const;
 
-  /// Sends one datagram.  Returns false when the kernel refused it
-  /// (full buffer on a nonblocking socket); callers treat that as wire
-  /// loss, which the protocol's re-probe path already tolerates.
+  /// Sends one datagram, retrying EINTR.  Returns false when the kernel
+  /// refused it (full buffer on a nonblocking socket, or an ICMP
+  /// port-unreachable surfaced as ECONNREFUSED); callers treat that as
+  /// wire loss, which the reliability sublayer repairs.
   bool send_to(const Endpoint& to, std::span<const std::uint8_t> bytes);
 
-  /// Receives one datagram into `buf`; returns its length, or -1 when
+  /// Receives one datagram into `buf`, retrying EINTR and consuming
+  /// queued ECONNREFUSED soft errors; returns its length, or -1 when
   /// nothing is queued.
   std::ptrdiff_t recv_from(std::span<std::uint8_t> buf, Endpoint& from);
 
-  /// Blocks up to `timeout_ms` for readability (poll(2)).
+  /// Blocks up to `timeout_ms` for readability.  EINTR restarts the
+  /// wait against a CLOCK_MONOTONIC deadline, so a signal storm cannot
+  /// stretch the timeout.
   bool wait_readable(int timeout_ms);
 
   /// Closes the descriptor early (idempotent).  A forked parent calls
@@ -81,16 +86,23 @@ class UdpSocket {
 /// LinkTransport over UDP datagrams.  The owner decides where frames
 /// go (set_peer / set_peer_resolver), how Join frames learn their path
 /// suffix (set_join_path_lookup), and what happens to inbound frames
-/// (set_frame_handler); pump() drives both the host-internal handoff
-/// queue and the socket.
+/// (set_frame_handler); pump() drives the host-internal handoff queue,
+/// the socket, the per-peer retransmit timers and the fault injector's
+/// held-frame queue.
 class UdpTransport final : public LinkTransport {
  public:
   using PeerResolver = std::function<const Endpoint*(const core::Packet&)>;
   using JoinPathLookup =
       std::function<std::span<const LinkId>(SessionId)>;
   /// Invoked for every decoded inbound frame with its source address.
+  /// Reliable data arrives as kind Packet (exactly once, in order);
+  /// Ack frames are consumed internally and never reach the handler.
   using FrameHandler =
       std::function<void(const wire::Frame&, const Endpoint& from)>;
+
+  /// Reliability peer-table bound; a hostile address churn past this
+  /// is counted (too_many_peers) and dropped, not allocated.
+  static constexpr std::size_t kMaxPeers = 512;
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral).
   explicit UdpTransport(std::uint16_t port = 0);
@@ -114,21 +126,42 @@ class UdpTransport final : public LinkTransport {
     frame_handler_ = std::move(handler);
   }
 
+  /// Routes outbound Packet frames through per-peer ReliableChannels
+  /// from now on.  Call before any traffic; per-peer jitter seeds are
+  /// derived from cfg.seed and the peer address.
+  void enable_reliability(const ReliableConfig& cfg);
+  [[nodiscard]] bool reliable() const { return reliable_; }
+
+  /// Interposes `injector` on every egress datagram (not owned; may be
+  /// nullptr to remove).  Zero-cost when absent: one branch per send.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return fault_; }
+
   // -- LinkTransport --
   void bind(TransportSink& sink) override;
   void send(LinkId physical, const core::Packet& p) override;
   void local(const core::Packet& p) override;
   /// CLOCK_MONOTONIC nanoseconds.
   [[nodiscard]] TimeNs now() const override;
-  [[nodiscard]] std::uint64_t retransmissions() const override { return 0; }
+  [[nodiscard]] std::uint64_t retransmissions() const override;
 
-  /// Encodes and sends a non-packet control frame.
+  /// Encodes and sends a non-packet control frame (through the fault
+  /// injector when one is installed).
   bool send_frame(const Endpoint& to, std::span<const std::uint8_t> bytes);
 
-  /// Drains the local-handoff queue, then every queued datagram; when
-  /// both are empty, waits up to `timeout_ms` for the socket and drains
-  /// again.  Returns the number of frames + handoffs processed.
+  /// Drains the local-handoff queue, then every queued datagram, then
+  /// fires due retransmit timers and releases due held frames; when
+  /// nothing was processed, waits up to `timeout_ms` (clamped to the
+  /// earliest timer deadline) for the socket and drains again.  Returns
+  /// the number of frames + handoffs processed.
   std::size_t pump(int timeout_ms);
+
+  // -- reliability introspection --
+  /// True once any peer channel exhausted its retries; the peer is
+  /// unreachable and the owner should surface a terminal error.
+  [[nodiscard]] bool peer_failed() const;
+  [[nodiscard]] std::uint64_t duplicates_dropped() const;
+  [[nodiscard]] std::size_t peer_count() const { return channels_.size(); }
 
   // -- counters (daemon status / tests) --
   [[nodiscard]] std::uint64_t datagrams_sent() const {
@@ -139,6 +172,10 @@ class UdpTransport final : public LinkTransport {
   }
   [[nodiscard]] std::uint64_t decode_errors() const { return decode_errors_; }
   [[nodiscard]] std::uint64_t unroutable() const { return unroutable_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] std::uint64_t too_many_peers() const {
+    return too_many_peers_;
+  }
   [[nodiscard]] const char* last_decode_error() const {
     return last_decode_error_;
   }
@@ -146,6 +183,13 @@ class UdpTransport final : public LinkTransport {
  private:
   void drain_local();
   std::size_t drain_socket();
+  std::size_t service_timers(TimeNs t);
+  [[nodiscard]] TimeNs next_timer_deadline() const;
+  /// Egress tail: fault injector (if armed), then the socket.
+  void raw_send(const Endpoint& to, std::span<const std::uint8_t> bytes);
+  /// Finds or creates the reliability channel for `ep`; nullptr when
+  /// the peer table is full.
+  ReliableChannel* channel_for(const Endpoint& ep);
 
   UdpSocket socket_;
   TransportSink* sink_ = nullptr;
@@ -154,13 +198,21 @@ class UdpTransport final : public LinkTransport {
   JoinPathLookup join_path_;
   FrameHandler frame_handler_;
 
+  bool reliable_ = false;
+  ReliableConfig reliable_cfg_;
+  std::unordered_map<Endpoint, ReliableChannel, EndpointHash> channels_;
+  FaultInjector* fault_ = nullptr;
+
   std::deque<core::Packet> pending_;  // local() handoffs, FIFO
   std::vector<std::uint8_t> encode_buf_;
+  std::vector<std::uint8_t> ack_buf_;
 
   std::uint64_t datagrams_sent_ = 0;
   std::uint64_t datagrams_received_ = 0;
   std::uint64_t decode_errors_ = 0;
   std::uint64_t unroutable_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t too_many_peers_ = 0;
   const char* last_decode_error_ = nullptr;
 };
 

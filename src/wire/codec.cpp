@@ -58,6 +58,21 @@ void put_header(std::vector<std::uint8_t>& out, FrameKind kind) {
   put_u8(out, static_cast<std::uint8_t>(kind));
 }
 
+std::uint32_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint32_t h = 2166136261u;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// Appends the trailing checksum over everything the encoder wrote for
+// this frame (out[start..end)).
+void seal(std::vector<std::uint8_t>& out, std::size_t start) {
+  put_u32(out, fnv1a({out.data() + start, out.size() - start}));
+}
+
 DecodeResult err(const char* what) {
   DecodeResult r;
   r.error = what;
@@ -65,6 +80,24 @@ DecodeResult err(const char* what) {
 }
 
 }  // namespace
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::DecodeError: return "decode-error";
+    case RejectReason::UpstreamType: return "upstream-type";
+    case RejectReason::BadEta: return "bad-eta";
+    case RejectReason::BadJoinHop: return "bad-join-hop";
+    case RejectReason::BadJoinPath: return "bad-join-path";
+    case RejectReason::ReJoin: return "re-join";
+    case RejectReason::UnknownSession: return "unknown-session";
+    case RejectReason::DepartedSession: return "departed-session";
+    case RejectReason::BadHop: return "bad-hop";
+    case RejectReason::InvariantTrip: return "invariant-trip";
+    case RejectReason::TooManyPeers: return "too-many-peers";
+    case RejectReason::StaleFrame: return "stale-frame";
+  }
+  return "?";
+}
 
 void encode_packet(const core::Packet& p, std::span<const LinkId> path,
                    std::vector<std::uint8_t>& out) {
@@ -83,12 +116,40 @@ void encode_packet(const core::Packet& p, std::span<const LinkId> path,
   for (const LinkId e : path) put_i32(out, e.value());
 }
 
+void encode_data(std::uint64_t seq, std::span<const std::uint8_t> inner,
+                 std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  out.reserve(start + kDataPrefixBytes + inner.size() + kChecksumBytes);
+  put_header(out, FrameKind::Data);
+  put_u64(out, seq);
+  out.insert(out.end(), inner.begin(), inner.end());
+  seal(out, start);
+}
+
+void encode_ack(std::uint64_t cumulative, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  put_header(out, FrameKind::Ack);
+  put_u64(out, cumulative);
+  seal(out, start);
+}
+
+void encode_heartbeat(std::uint32_t live_sessions,
+                      std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  put_header(out, FrameKind::Heartbeat);
+  put_u32(out, live_sessions);
+  seal(out, start);
+}
+
 void encode_status_request(std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
   put_header(out, FrameKind::StatusRequest);
+  seal(out, start);
 }
 
 void encode_status_reply(const StatusReply& status,
                          std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
   put_header(out, FrameKind::StatusReply);
   put_u8(out, status.stable ? 1 : 0);
   put_u8(out, 0);
@@ -96,10 +157,16 @@ void encode_status_reply(const StatusReply& status,
   put_u8(out, 0);
   put_u32(out, status.active_sessions);
   put_u64(out, status.packets_seen);
+  put_u64(out, status.retransmissions);
+  put_u32(out, status.expired_sessions);
+  for (const std::uint32_t c : status.rejects) put_u32(out, c);
+  seal(out, start);
 }
 
 void encode_shutdown(std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
   put_header(out, FrameKind::Shutdown);
+  seal(out, start);
 }
 
 DecodeResult decode(std::span<const std::uint8_t> bytes) {
@@ -112,10 +179,22 @@ DecodeResult decode(std::span<const std::uint8_t> bytes) {
   DecodeResult r;
   r.frame.kind = static_cast<FrameKind>(bytes[3]);
 
+  // Every non-Packet frame ends with a checksum over the rest; verify
+  // it before trusting any field.
+  if (r.frame.kind != FrameKind::Packet) {
+    if (bytes.size() < kHeaderBytes + kChecksumBytes) {
+      return err("frame shorter than checksum trailer");
+    }
+    const std::size_t body = bytes.size() - kChecksumBytes;
+    if (fnv1a(bytes.first(body)) != get_u32(bytes, body)) {
+      return err("frame checksum mismatch");
+    }
+  }
+
   switch (r.frame.kind) {
     case FrameKind::StatusRequest:
     case FrameKind::Shutdown:
-      if (bytes.size() != kHeaderBytes) return err("trailing bytes");
+      if (bytes.size() != kControlFrameBytes) return err("trailing bytes");
       return r;
 
     case FrameKind::StatusReply: {
@@ -129,6 +208,45 @@ DecodeResult decode(std::span<const std::uint8_t> bytes) {
       r.frame.status.stable = bytes[4] == 1;
       r.frame.status.active_sessions = get_u32(bytes, 8);
       r.frame.status.packets_seen = get_u64(bytes, 12);
+      r.frame.status.retransmissions = get_u64(bytes, 20);
+      r.frame.status.expired_sessions = get_u32(bytes, 28);
+      for (int i = 0; i < kRejectReasonCount; ++i) {
+        r.frame.status.rejects[static_cast<std::size_t>(i)] =
+            get_u32(bytes, 32 + 4 * static_cast<std::size_t>(i));
+      }
+      return r;
+    }
+
+    case FrameKind::Ack:
+      if (bytes.size() != kAckFrameBytes) return err("bad ack length");
+      r.frame.seq = get_u64(bytes, 4);
+      return r;
+
+    case FrameKind::Heartbeat:
+      if (bytes.size() != kHeartbeatFrameBytes) {
+        return err("bad heartbeat length");
+      }
+      r.frame.heartbeat_sessions = get_u32(bytes, 4);
+      return r;
+
+    case FrameKind::Data: {
+      if (bytes.size() <
+          kDataPrefixBytes + kPacketFrameBytes + kChecksumBytes) {
+        return err("truncated data frame");
+      }
+      const std::uint64_t seq = get_u64(bytes, 4);
+      // The wrapped frame must be exactly one Packet frame — no nested
+      // reliability, no control frames riding the sequenced stream.
+      DecodeResult inner = decode(bytes.subspan(
+          kDataPrefixBytes,
+          bytes.size() - kDataPrefixBytes - kChecksumBytes));
+      if (!inner.ok()) return inner;
+      if (inner.frame.kind != FrameKind::Packet) {
+        return err("data frame wraps a non-packet frame");
+      }
+      r.frame = std::move(inner.frame);
+      r.frame.kind = FrameKind::Data;
+      r.frame.seq = seq;
       return r;
     }
 

@@ -22,7 +22,10 @@ struct ArqHarness {
       : channel(sim, data, ack, /*data_tx=*/100, /*data_prop=*/1000,
                 /*ack_tx=*/100, /*ack_prop=*/1000, cfg, Rng(seed),
                 [this](const Packet& p) { delivered.push_back(p.session); },
-                [this](const Packet&) { ++wire_sends; }) {}
+                [this](const Packet&) {
+                  ++wire_sends;
+                  wire_times.push_back(sim.now());
+                }) {}
 
   Packet packet(int id) {
     Packet p;
@@ -35,6 +38,7 @@ struct ArqHarness {
   sim::FifoChannel data, ack;
   std::vector<SessionId> delivered;
   std::uint64_t wire_sends = 0;
+  std::vector<TimeNs> wire_times;
   ArqChannel channel;
 };
 
@@ -118,6 +122,97 @@ TEST(Arq, StopAndWaitWindowOne) {
   for (int i = 0; i < 15; ++i) EXPECT_EQ(h.delivered[static_cast<std::size_t>(i)], SessionId{i});
 }
 
+TEST(Arq, SimultaneousDataAndAckLossRecovers) {
+  // At 50% symmetric loss, rounds where the data frame AND the repair
+  // ack both vanish are common; the retransmit timer must dig the
+  // window out of every such double hole, for every seed.  Backoff is
+  // on, so ack progress resetting the interval is exercised too.
+  ArqConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.window = 2;
+  cfg.backoff = 2.0;
+  cfg.max_timeout = 200000;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ArqHarness h(cfg, seed);
+    for (int i = 0; i < 10; ++i) h.channel.send(h.packet(i));
+    h.sim.run_until_idle();
+    ASSERT_EQ(h.delivered.size(), 10u) << "seed " << seed;
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(h.delivered[static_cast<std::size_t>(i)], SessionId{i})
+          << "seed " << seed;
+    }
+    EXPECT_TRUE(h.channel.idle()) << "seed " << seed;
+  }
+}
+
+TEST(Arq, RetransmitBackoffGrowsAndCaps) {
+  // A black-hole wire (loss ~ 1) shows the bare timer cadence: with
+  // backoff=2 the retransmit gaps must double each silent round until
+  // the max_timeout ceiling.  The seeded Rng makes the trace exact.
+  ArqConfig cfg;
+  cfg.loss_probability = 0.999999;
+  cfg.timeout = 1000;
+  cfg.backoff = 2.0;
+  cfg.max_timeout = 4000;
+  ArqHarness h(cfg, /*seed=*/3);
+  h.channel.send(h.packet(0));
+  h.sim.run_until(16000);
+  // Sends at t=0, 1000, 3000, 7000, 11000, ...: gaps 1, 2, 4, 4 us.
+  ASSERT_GE(h.wire_times.size(), 5u);
+  EXPECT_EQ(h.wire_times[1] - h.wire_times[0], 1000);
+  EXPECT_EQ(h.wire_times[2] - h.wire_times[1], 2000);
+  EXPECT_EQ(h.wire_times[3] - h.wire_times[2], 4000);
+  EXPECT_EQ(h.wire_times[4] - h.wire_times[3], 4000);
+  EXPECT_EQ(h.delivered.size(), 0u);
+  EXPECT_GT(h.channel.retransmissions(), 0u);
+}
+
+TEST(Arq, BackoffedChannelStaysQuiescentWithoutLoss) {
+  // Backoff must only engage on silent rounds: on a lossless wire a
+  // backoffed channel behaves exactly like the fixed-interval one —
+  // everything delivered first try, no retransmissions, then idle.
+  ArqConfig cfg;
+  cfg.backoff = 2.0;
+  cfg.max_timeout = 80000;
+  ArqHarness h(cfg);
+  for (int i = 0; i < 3; ++i) h.channel.send(h.packet(i));
+  h.sim.run_until_idle();
+  ASSERT_EQ(h.delivered.size(), 3u);
+  EXPECT_EQ(h.channel.retransmissions(), 0u);
+  EXPECT_TRUE(h.channel.idle());
+}
+
+TEST(Arq, SequenceNumbersWrapThroughZero) {
+  // A channel started near 2^64 must wrap through zero without
+  // stalling, re-delivering or reordering — serial-number arithmetic
+  // end to end, including under loss.
+  ArqConfig cfg;
+  cfg.first_seq = ~std::uint64_t{0} - 2;
+  cfg.window = 4;
+  ArqHarness h(cfg);
+  for (int i = 0; i < 12; ++i) h.channel.send(h.packet(i));
+  h.sim.run_until_idle();
+  ASSERT_EQ(h.delivered.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(h.delivered[static_cast<std::size_t>(i)], SessionId{i});
+  }
+  EXPECT_TRUE(h.channel.idle());
+
+  ArqConfig lossy = cfg;
+  lossy.loss_probability = 0.3;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ArqHarness hl(lossy, seed);
+    for (int i = 0; i < 20; ++i) hl.channel.send(hl.packet(i));
+    hl.sim.run_until_idle();
+    ASSERT_EQ(hl.delivered.size(), 20u) << "seed " << seed;
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(hl.delivered[static_cast<std::size_t>(i)], SessionId{i})
+          << "seed " << seed;
+    }
+    EXPECT_TRUE(hl.channel.idle()) << "seed " << seed;
+  }
+}
+
 TEST(Arq, InvalidConfigRejected) {
   ArqConfig cfg;
   cfg.window = 0;
@@ -125,6 +220,9 @@ TEST(Arq, InvalidConfigRejected) {
   ArqConfig cfg2;
   cfg2.loss_probability = 1.0;
   EXPECT_THROW(ArqHarness h2(cfg2), InvariantError);
+  ArqConfig cfg3;
+  cfg3.backoff = 0.5;
+  EXPECT_THROW(ArqHarness h3(cfg3), InvariantError);
 }
 
 // ---- B-Neck end-to-end over lossy links ----

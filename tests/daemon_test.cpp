@@ -5,6 +5,7 @@
 // path fail here, not just in the CI compliance smoke.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "check/compliance.hpp"
@@ -175,7 +176,8 @@ TEST(DaemonLoopback, RejectsHostileIngress) {
   buf.assign({0x42, 0x4E, 77, 0});  // bad version
   raw.send_to(fx.daemon.endpoint(), buf);
 
-  // The daemon must drop all of it and stay converged.
+  // The daemon must drop all of it and stay converged, and the status
+  // snapshot must attribute each drop to its reason.
   const std::uint64_t rejected_before = fx.daemon.stats().frames_rejected;
   for (int i = 0; i < 100; ++i) fx.client.poll(1);
   EXPECT_GE(fx.daemon.stats().frames_rejected, rejected_before);
@@ -184,6 +186,59 @@ TEST(DaemonLoopback, RejectsHostileIngress) {
   EXPECT_EQ(st->active_sessions, 1u);
   EXPECT_TRUE(st->stable);
   EXPECT_TRUE(rate_eq(fx.client.rate_of(SessionId{0}), 60.0));
+
+  using wire::RejectReason;
+  const auto count = [&st](RejectReason r) {
+    return st->rejects[static_cast<std::size_t>(r)];
+  };
+  EXPECT_GE(count(RejectReason::UnknownSession), 1u);
+  EXPECT_GE(count(RejectReason::BadHop), 1u);
+  EXPECT_GE(count(RejectReason::UpstreamType), 1u);
+  EXPECT_GE(count(RejectReason::ReJoin), 1u);
+  EXPECT_GE(count(RejectReason::DecodeError), 1u);  // the bad-version frame
+  EXPECT_GE(st->total_rejects(), 5u);
+}
+
+TEST(DaemonLoopback, ExpiresSessionsOfSilentClients) {
+  net::Network net = make_net();
+  DaemonOptions dopt;
+  dopt.session_expiry = milliseconds(100);
+  Daemon daemon(net, dopt);
+  std::thread server([&daemon] { daemon.serve(); });
+
+  const net::Path path = *net::PathFinder(net).shortest_path(
+      net.hosts()[0], net.hosts()[3]);
+  {
+    // This client joins, converges, then vanishes without a Leave — the
+    // crashed-source scenario.  Its destructor closes the socket; no
+    // heartbeat ever arrives again.
+    SourceClient client(net, daemon.endpoint());
+    client.join(SessionId{0}, path, kRateInfinity);
+    for (int i = 0; i < 200 && !client.sources_stable(); ++i) {
+      client.poll(1);
+    }
+    ASSERT_TRUE(client.sources_stable());
+    const auto st = client.query_status(1000);
+    ASSERT_TRUE(st.has_value());
+    ASSERT_EQ(st->active_sessions, 1u);
+  }
+
+  // The liveness sweep must reap the orphaned session and report it.
+  SourceClient probe(net, daemon.endpoint());
+  bool reaped = false;
+  for (int i = 0; i < 100 && !reaped; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto st = probe.query_status(500);
+    if (st && st->active_sessions == 0) {
+      EXPECT_GE(st->expired_sessions, 1u);
+      reaped = true;
+    }
+  }
+  EXPECT_TRUE(reaped);
+
+  probe.shutdown_daemon();
+  daemon.request_stop();
+  server.join();
 }
 
 }  // namespace

@@ -1,0 +1,439 @@
+// Tests for the socket-facing reliability sublayer and the fault
+// injector behind compliance-under-faults: ReliableChannel's go-back-N
+// state machine driven by explicit clocks (window, backoff, jitter
+// determinism, retry-budget failure, sequence wraparound), the
+// FaultInjector's replayable schedules, and the end-to-end properties —
+// a client facing a dead daemon fails fast instead of hanging, and a
+// live daemon behind a faulty wire still converges to the solver rates.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "check/compliance.hpp"
+#include "core/packet.hpp"
+#include "net/routing.hpp"
+#include "topo/canonical.hpp"
+#include "transport/client.hpp"
+#include "transport/fault.hpp"
+#include "transport/reliable.hpp"
+#include "transport/udp.hpp"
+#include "wire/codec.hpp"
+
+namespace bneck::transport {
+namespace {
+
+std::vector<std::uint8_t> probe_frame(int session) {
+  core::Packet p;
+  p.type = core::PacketType::Probe;
+  p.session = SessionId{session};
+  p.hop = 1;
+  p.weight = 1.0;
+  std::vector<std::uint8_t> buf;
+  wire::encode_packet(p, buf);
+  return buf;
+}
+
+// Unit harness: one ReliableChannel whose raw sends are captured for
+// inspection instead of hitting a socket.
+struct ChannelHarness {
+  std::vector<std::vector<std::uint8_t>> sent;
+  bool accept = true;  // false simulates a refusing kernel
+  ReliableChannel ch;
+
+  explicit ChannelHarness(const ReliableConfig& cfg)
+      : ch(cfg, [this](std::span<const std::uint8_t> bytes) {
+          if (accept) sent.emplace_back(bytes.begin(), bytes.end());
+          return accept;
+        }) {}
+
+  /// Sequence number of the i-th captured Data frame.
+  std::uint64_t seq_of(std::size_t i) {
+    const wire::DecodeResult r = wire::decode(sent.at(i));
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.frame.kind, wire::FrameKind::Data);
+    return r.frame.seq;
+  }
+};
+
+ReliableConfig no_jitter_config() {
+  ReliableConfig cfg;
+  cfg.jitter = 0.0;
+  cfg.rto_initial = milliseconds(1);
+  cfg.rto_max = milliseconds(4);
+  return cfg;
+}
+
+TEST(ReliableChannel, WindowLimitsInFlightAndAcksSlideIt) {
+  ReliableConfig cfg = no_jitter_config();
+  cfg.window = 4;
+  ChannelHarness h(cfg);
+  const auto frame = probe_frame(0);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(h.ch.send(frame, 0));
+  ASSERT_EQ(h.sent.size(), 4u);  // only the window is on the wire
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(h.seq_of(i), i);
+
+  h.ch.on_ack(4, 0);  // first four delivered
+  ASSERT_EQ(h.sent.size(), 8u);  // next four admitted
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(h.seq_of(i), i);
+
+  h.ch.on_ack(8, 0);  // window slides again: the last two go out
+  ASSERT_EQ(h.sent.size(), 10u);
+  h.ch.on_ack(10, 0);
+  EXPECT_TRUE(h.ch.idle());
+  EXPECT_EQ(h.ch.next_deadline(), kTimeNever);  // quiescent: no timer
+  EXPECT_EQ(h.ch.retransmissions(), 0u);
+}
+
+TEST(ReliableChannel, RetransmitBackoffGrowsAndCaps) {
+  ChannelHarness h(no_jitter_config());
+  ASSERT_TRUE(h.ch.send(probe_frame(0), 0));
+  ASSERT_EQ(h.sent.size(), 1u);
+
+  // No acks: deadlines must space out 1ms, 2ms, 4ms, 4ms (capped).
+  const TimeNs expected_gaps[] = {milliseconds(1), milliseconds(2),
+                                  milliseconds(4), milliseconds(4)};
+  TimeNs now = 0;
+  for (const TimeNs gap : expected_gaps) {
+    const TimeNs deadline = h.ch.next_deadline();
+    EXPECT_EQ(deadline, now + gap);
+    EXPECT_EQ(h.ch.poll(deadline - 1), 0u);  // not due yet
+    EXPECT_EQ(h.ch.poll(deadline), 1u);      // retransmits the frame
+    now = deadline;
+  }
+  EXPECT_EQ(h.ch.retransmissions(), 4u);
+
+  // Ack progress resets the backoff to the initial RTO.
+  ASSERT_TRUE(h.ch.send(probe_frame(1), now));
+  h.ch.on_ack(1, now);
+  EXPECT_EQ(h.ch.next_deadline(), now + milliseconds(1));
+}
+
+TEST(ReliableChannel, JitterScheduleIsDeterministicPerSeed) {
+  ReliableConfig cfg = no_jitter_config();
+  cfg.jitter = 0.4;
+  cfg.seed = 1234;
+  ChannelHarness a(cfg);
+  ChannelHarness b(cfg);
+  cfg.seed = 99;
+  ChannelHarness c(cfg);
+
+  const auto frame = probe_frame(0);
+  std::vector<TimeNs> da, db, dc;
+  TimeNs now = 0;
+  ASSERT_TRUE(a.ch.send(frame, now));
+  ASSERT_TRUE(b.ch.send(frame, now));
+  ASSERT_TRUE(c.ch.send(frame, now));
+  for (int round = 0; round < 5; ++round) {
+    da.push_back(a.ch.next_deadline());
+    db.push_back(b.ch.next_deadline());
+    dc.push_back(c.ch.next_deadline());
+    now = std::max({da.back(), db.back(), dc.back()});
+    a.ch.poll(now);
+    b.ch.poll(now);
+    c.ch.poll(now);
+    // Jittered deadlines stay within 1 +/- jitter of the nominal RTO.
+    EXPECT_GT(da.back(), 0);
+  }
+  EXPECT_EQ(da, db);  // same seed, same schedule: replayable
+  EXPECT_NE(da, dc);  // different seed decorrelates the timers
+}
+
+TEST(ReliableChannel, FailsAfterRetryBudgetInsteadOfRetryingForever) {
+  ReliableConfig cfg = no_jitter_config();
+  cfg.max_retries = 3;
+  ChannelHarness h(cfg);
+  ASSERT_TRUE(h.ch.send(probe_frame(0), 0));
+
+  TimeNs now = 0;
+  int rounds = 0;
+  while (!h.ch.failed() && rounds < 100) {
+    now = h.ch.next_deadline();
+    ASSERT_NE(now, kTimeNever);
+    h.ch.poll(now);
+    ++rounds;
+  }
+  EXPECT_TRUE(h.ch.failed());
+  EXPECT_EQ(rounds, cfg.max_retries + 1);  // budget, then the verdict
+  EXPECT_EQ(h.ch.next_deadline(), kTimeNever);
+  EXPECT_FALSE(h.ch.send(probe_frame(1), now));  // terminal: sends drop
+}
+
+TEST(ReliableChannel, AckProgressResetsTheFailureCountdown) {
+  ReliableConfig cfg = no_jitter_config();
+  cfg.max_retries = 2;
+  ChannelHarness h(cfg);
+  ASSERT_TRUE(h.ch.send(probe_frame(0), 0));
+  ASSERT_TRUE(h.ch.send(probe_frame(1), 0));
+
+  // Burn the budget down to its last round, then make progress.
+  TimeNs now = h.ch.next_deadline();
+  h.ch.poll(now);
+  now = h.ch.next_deadline();
+  h.ch.poll(now);
+  ASSERT_FALSE(h.ch.failed());
+  h.ch.on_ack(1, now);  // one frame acked: the peer is alive
+
+  // A fresh full budget must elapse before the channel gives up.
+  int rounds = 0;
+  while (!h.ch.failed() && rounds < 100) {
+    now = h.ch.next_deadline();
+    ASSERT_NE(now, kTimeNever);
+    h.ch.poll(now);
+    ++rounds;
+  }
+  EXPECT_EQ(rounds, cfg.max_retries + 1);
+}
+
+TEST(ReliableChannel, ReceiverDedupsAndSuppressesOutOfOrder) {
+  ChannelHarness h(no_jitter_config());
+  EXPECT_TRUE(h.ch.on_data(0));   // in order: deliver
+  EXPECT_FALSE(h.ch.on_data(0));  // duplicate: drop, re-ack
+  EXPECT_FALSE(h.ch.on_data(2));  // gap: go-back-N drops it
+  EXPECT_EQ(h.ch.expected(), 1u);
+  EXPECT_TRUE(h.ch.on_data(1));
+  EXPECT_TRUE(h.ch.on_data(2));
+  EXPECT_EQ(h.ch.expected(), 3u);
+  EXPECT_EQ(h.ch.duplicates_dropped(), 2u);
+}
+
+TEST(ReliableChannel, SequenceNumbersWrapThroughZero) {
+  ReliableConfig cfg = no_jitter_config();
+  cfg.first_seq = ~std::uint64_t{0} - 1;  // 2^64 - 2
+  cfg.window = 8;
+  ChannelHarness h(cfg);
+  const auto frame = probe_frame(0);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(h.ch.send(frame, 0));
+  ASSERT_EQ(h.sent.size(), 5u);
+  EXPECT_EQ(h.seq_of(0), ~std::uint64_t{0} - 1);
+  EXPECT_EQ(h.seq_of(1), ~std::uint64_t{0});
+  EXPECT_EQ(h.seq_of(2), 0u);
+  EXPECT_EQ(h.seq_of(3), 1u);
+
+  // Cumulative ack from across the wrap point retires pre-wrap frames.
+  h.ch.on_ack(1, 0);
+  EXPECT_FALSE(h.ch.idle());
+  h.ch.on_ack(3, 0);
+  EXPECT_TRUE(h.ch.idle());
+
+  // Receiver side wraps the same way.
+  ReliableConfig rcfg = no_jitter_config();
+  rcfg.first_seq = ~std::uint64_t{0};
+  ChannelHarness rx(rcfg);
+  EXPECT_TRUE(rx.ch.on_data(~std::uint64_t{0}));
+  EXPECT_TRUE(rx.ch.on_data(0));
+  EXPECT_TRUE(rx.ch.on_data(1));
+  EXPECT_FALSE(rx.ch.on_data(0));  // wrapped duplicate still suppressed
+  EXPECT_EQ(rx.ch.expected(), 2u);
+}
+
+TEST(ReliableChannel, IgnoresStaleAndFutureAcks) {
+  ReliableConfig cfg = no_jitter_config();
+  cfg.first_seq = 5;
+  ChannelHarness h(cfg);
+  ASSERT_TRUE(h.ch.send(probe_frame(0), 0));
+  ASSERT_TRUE(h.ch.send(probe_frame(1), 0));
+
+  h.ch.on_ack(5, 0);    // stale: acks nothing new
+  h.ch.on_ack(4, 0);    // stale: behind the window
+  h.ch.on_ack(100, 0);  // hostile: acks frames never sent
+  EXPECT_FALSE(h.ch.idle());
+
+  // The timer still guards both frames: a due poll retransmits them.
+  const TimeNs deadline = h.ch.next_deadline();
+  ASSERT_NE(deadline, kTimeNever);
+  EXPECT_EQ(h.ch.poll(deadline), 2u);
+}
+
+TEST(ReliableChannel, RefusedDatagramsAreRepairedByTheTimer) {
+  ChannelHarness h(no_jitter_config());
+  h.accept = false;  // kernel refuses the first transmission
+  ASSERT_TRUE(h.ch.send(probe_frame(0), 0));
+  EXPECT_TRUE(h.sent.empty());
+  h.accept = true;
+  const TimeNs deadline = h.ch.next_deadline();
+  ASSERT_NE(deadline, kTimeNever);
+  EXPECT_EQ(h.ch.poll(deadline), 1u);
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.seq_of(0), 0u);
+}
+
+// ---- fault injector ----
+
+struct Emitted {
+  Endpoint to;
+  std::vector<std::uint8_t> bytes;
+
+  friend bool operator==(const Emitted&, const Emitted&) = default;
+};
+
+std::vector<Emitted> run_schedule(FaultInjector& inj, int frames) {
+  std::vector<Emitted> trace;
+  const FaultInjector::Emit emit =
+      [&trace](const Endpoint& to, std::span<const std::uint8_t> bytes) {
+        trace.push_back({to, {bytes.begin(), bytes.end()}});
+      };
+  const Endpoint peers[] = {Endpoint::loopback(1000),
+                            Endpoint::loopback(2000)};
+  for (int i = 0; i < frames; ++i) {
+    auto frame = probe_frame(i);
+    inj.process(/*now=*/TimeNs{i} * milliseconds(1), peers[i % 2], frame,
+                emit);
+  }
+  inj.flush(kTimeNever - 1, emit);  // release everything held
+  return trace;
+}
+
+TEST(FaultInjector, ScheduleIsAPureFunctionOfTheSeed) {
+  FaultInjector a(FaultConfig::standard(42));
+  FaultInjector b(FaultConfig::standard(42));
+  FaultInjector c(FaultConfig::standard(43));
+  const auto ta = run_schedule(a, 400);
+  const auto tb = run_schedule(b, 400);
+  const auto tc = run_schedule(c, 400);
+  EXPECT_EQ(ta, tb);  // same seed: byte-identical egress trace
+  EXPECT_EQ(a.counters(), b.counters());
+  EXPECT_NE(ta, tc);  // different seed: different schedule
+
+  // Every configured fate actually fired over 400 datagrams.
+  const FaultCounters& n = a.counters();
+  EXPECT_EQ(n.datagrams, 400u);
+  EXPECT_GT(n.dropped, 0u);
+  EXPECT_GT(n.duplicated, 0u);
+  EXPECT_GT(n.reordered, 0u);
+  EXPECT_GT(n.corrupted, 0u);
+  EXPECT_GT(n.delayed, 0u);
+  EXPECT_EQ(n.datagrams, n.passed + n.dropped + n.duplicated + n.reordered +
+                             n.corrupted + n.delayed);
+}
+
+TEST(FaultInjector, DisarmReleasesHeldFramesAndPassesThrough) {
+  FaultConfig cfg;
+  cfg.seed = 7;
+  cfg.delay = 0.9;
+  cfg.delay_min = seconds(100);  // far future: held until disarm
+  cfg.delay_max = seconds(200);
+  FaultInjector inj(cfg);
+
+  std::vector<Emitted> trace;
+  const FaultInjector::Emit emit =
+      [&trace](const Endpoint& to, std::span<const std::uint8_t> bytes) {
+        trace.push_back({to, {bytes.begin(), bytes.end()}});
+      };
+  const Endpoint peer = Endpoint::loopback(999);
+  for (int i = 0; i < 50; ++i) {
+    auto frame = probe_frame(i);
+    inj.process(0, peer, frame, emit);
+  }
+  const std::uint64_t held = inj.counters().delayed;
+  ASSERT_GT(held, 0u);
+  EXPECT_EQ(trace.size(), 50u - held);
+  EXPECT_NE(inj.next_due(), kTimeNever);
+
+  inj.disarm();
+  EXPECT_FALSE(inj.armed());
+  inj.flush(/*now=*/0, emit);  // deadlines ignored once disarmed
+  EXPECT_EQ(trace.size(), 50u);
+  EXPECT_EQ(inj.next_due(), kTimeNever);
+
+  // Disarmed: pure pass-through, counters freeze.
+  const FaultCounters before = inj.counters();
+  auto frame = probe_frame(99);
+  inj.process(0, peer, frame, emit);
+  EXPECT_EQ(trace.size(), 51u);
+  EXPECT_EQ(trace.back().bytes, frame);
+  EXPECT_EQ(inj.counters(), before);
+}
+
+TEST(FaultInjector, ParseRoundTripsAndRejectsNonsense) {
+  std::string error;
+  const auto cfg = FaultConfig::parse(
+      "seed=7,drop=0.1,dup=0.05,reorder=0.02,corrupt=0.01,delay=0.04,"
+      "delay-min-ms=2,delay-max-ms=9",
+      &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->seed, 7u);
+  EXPECT_DOUBLE_EQ(cfg->drop, 0.1);
+  EXPECT_DOUBLE_EQ(cfg->delay, 0.04);
+  EXPECT_EQ(cfg->delay_min, milliseconds(2));
+  EXPECT_EQ(cfg->delay_max, milliseconds(9));
+
+  // The printed form parses back to the same config.
+  const auto again = FaultConfig::parse(cfg->to_string(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_DOUBLE_EQ(again->drop, cfg->drop);
+  EXPECT_EQ(again->delay_max, cfg->delay_max);
+
+  for (const char* bad :
+       {"drop=1.5", "drop=0.6,dup=0.6", "nonsense=1", "drop=x",
+        "delay=0.1,delay-min-ms=9,delay-max-ms=2", "drop"}) {
+    EXPECT_FALSE(FaultConfig::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// ---- end-to-end: fail-fast and convergence-under-faults ----
+
+net::Network small_net() {
+  topo::CanonicalOptions opt;
+  opt.router_capacity = 100.0;
+  opt.access_capacity = 60.0;
+  return topo::make_parking_lot(3, opt);
+}
+
+// The hung-Join regression: PR 6's client would spin forever when the
+// Join datagram (or the daemon) vanished.  Now the retry budget turns a
+// silent peer into a terminal, queryable failure.
+TEST(ReliableClient, JoinAgainstSilentPeerFailsFastInsteadOfHanging) {
+  const net::Network net = small_net();
+  UdpSocket silent(0);  // bound, never read: a black hole with an address
+
+  ClientOptions copts;
+  copts.reliability.rto_initial = milliseconds(1);
+  copts.reliability.rto_max = milliseconds(4);
+  copts.reliability.max_retries = 3;
+  copts.heartbeat_period = 0;
+  SourceClient client(net, silent.local_endpoint(), copts);
+  EXPECT_FALSE(client.failed());
+  EXPECT_TRUE(client.failure().empty());
+
+  const net::Path path = *net::PathFinder(net).shortest_path(
+      net.hosts()[0], net.hosts()[3]);
+  client.join(SessionId{0}, path, kRateInfinity);
+
+  // The whole budget at these settings is ~25ms; 2000 bounded polls is
+  // a generous ceiling that still fails the test quickly if the client
+  // regresses into the old infinite retry loop.
+  bool failed = false;
+  for (int i = 0; i < 2000; ++i) {
+    client.poll(1);
+    if (client.failed()) {
+      failed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(client.failure().empty());
+  EXPECT_FALSE(client.sources_stable());
+  // Terminal: status queries refuse to hang too.
+  EXPECT_FALSE(client.query_status(50).has_value());
+}
+
+TEST(ComplianceUnderFaults, ConvergesToSolverRatesOverALossyWire) {
+  check::ComplianceOptions opt;
+  opt.threaded = true;
+  opt.timeout_ms = 20000;
+  opt.faults = transport::FaultConfig::standard(0);  // derive from seed
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    const auto r = check::run_compliance_seed(seed, opt);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.failure;
+    // The injector must have actually interfered.
+    EXPECT_GT(r.client_faults.datagrams, 0u) << "seed " << seed;
+    EXPECT_GT(r.client_faults.dropped + r.client_faults.corrupted, 0u)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace bneck::transport

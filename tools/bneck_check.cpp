@@ -42,7 +42,14 @@ void usage(const char* argv0) {
       "                        127.0.0.1 and check rates vs the solver\n"
       "  --compliance-threaded run the daemon on a thread, not a fork\n"
       "                        (in-process; what the ASan CI cell uses)\n"
-      "  --compliance-timeout MS  convergence budget per seed (5000)\n"
+      "  --compliance-timeout MS  convergence budget per seed (5000;\n"
+      "                        15000 when faults are armed)\n"
+      "  --faults [SPEC]       compliance under a deterministic lossy\n"
+      "                        network on both egress paths; SPEC is\n"
+      "                        \"key=value,...\" (seed, drop, dup, reorder,\n"
+      "                        corrupt, delay, delay-min-ms, delay-max-ms),\n"
+      "                        default = the standard ~11%%-loss preset;\n"
+      "                        seed 0 derives from the scenario seed\n"
       "  --threads N           worker threads (0 = all cores, default)\n"
       "  --shrink              minimize failures to a minimal reproducer\n"
       "  --max-shrink-runs N   candidate re-runs per shrink (default 4000)\n"
@@ -63,6 +70,7 @@ struct Args {
   bool codec_mode = false;
   bool compliance_mode = false;
   bneck::check::ComplianceOptions compliance;
+  bool timeout_set = false;
   std::size_t threads = 0;
   bool do_shrink = false;
   std::size_t max_shrink_runs = 4000;
@@ -117,6 +125,20 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = next();
       if (v == nullptr) return false;
       a->compliance.timeout_ms = std::atoi(v);
+      a->timeout_set = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      // Optional value: a "key=value,..." spec, else the standard preset.
+      if (i + 1 < argc && std::strchr(argv[i + 1], '=') != nullptr) {
+        std::string err;
+        const auto cfg = bneck::transport::FaultConfig::parse(argv[++i], &err);
+        if (!cfg) {
+          std::fprintf(stderr, "bad --faults spec: %s\n", err.c_str());
+          return false;
+        }
+        a->compliance.faults = *cfg;
+      } else {
+        a->compliance.faults = bneck::transport::FaultConfig::standard(0);
+      }
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = next();
       if (v == nullptr) return false;
@@ -255,28 +277,51 @@ int run(const Args& args) {
     // Sequential on purpose: each seed forks (or threads) its own
     // daemon; parallelizing would multiplex signals and sockets for no
     // coverage gain.
+    const bool faulted =
+        args.compliance.faults && args.compliance.faults->any();
+    bneck::check::ComplianceOptions copt = args.compliance;
+    // Repairing a lossy wire takes retransmission round-trips; give the
+    // faulted runs a bigger default budget.
+    if (faulted && !args.timeout_set) copt.timeout_ms = 15000;
+    if (faulted) {
+      std::printf("bneck_check: faults armed: %s\n",
+                  copt.faults->to_string().c_str());
+    }
     int failures = 0;
-    std::uint64_t sessions = 0, frames = 0;
+    std::uint64_t sessions = 0, frames = 0, retx = 0, dropped = 0;
     for (std::uint64_t s = args.seed_first; s <= args.seed_last; ++s) {
-      const auto r = bneck::check::run_compliance_seed(s, args.compliance);
+      const auto r = bneck::check::run_compliance_seed(s, copt);
       sessions += r.sessions_checked;
       frames += r.wire_frames;
+      retx += r.retransmissions;
+      dropped += r.client_faults.dropped + r.client_faults.corrupted;
       if (!r.ok) {
         ++failures;
         std::printf("[FAIL] compliance seed %" PRIu64 ": %s\n", s,
                     r.failure.c_str());
-        std::printf("       replay: bneck_check --compliance %" PRIu64 "\n",
-                    s);
+        std::printf("       replay: bneck_check --compliance %" PRIu64 "%s%s\n",
+                    s, faulted ? " --faults " : "",
+                    faulted ? copt.faults->to_string().c_str() : "");
       } else if (args.verbose) {
         std::printf("[ ok ] compliance seed %" PRIu64 ": %u session(s), "
-                    "%" PRIu64 " datagrams, %d nudge(s)\n",
-                    s, r.sessions_checked, r.wire_frames, r.nudges);
+                    "%" PRIu64 " datagrams, %" PRIu64 " retx, %d nudge(s)\n",
+                    s, r.sessions_checked, r.wire_frames, r.retransmissions,
+                    r.nudges);
       }
     }
-    std::printf("bneck_check: compliance, %" PRIu64 " seeds, %" PRIu64
-                " sessions checked, %" PRIu64 " datagrams, %d failure(s)\n",
-                args.seed_last - args.seed_first + 1, sessions, frames,
-                failures);
+    if (faulted) {
+      std::printf("bneck_check: compliance under faults, %" PRIu64
+                  " seeds, %" PRIu64 " sessions checked, %" PRIu64
+                  " datagrams, %" PRIu64 " client frames dropped/corrupted, "
+                  "%" PRIu64 " retransmissions, %d failure(s)\n",
+                  args.seed_last - args.seed_first + 1, sessions, frames,
+                  dropped, retx, failures);
+    } else {
+      std::printf("bneck_check: compliance, %" PRIu64 " seeds, %" PRIu64
+                  " sessions checked, %" PRIu64 " datagrams, %d failure(s)\n",
+                  args.seed_last - args.seed_first + 1, sessions, frames,
+                  failures);
+    }
     return failures > 0 ? 1 : 0;
   }
 

@@ -21,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "check/scenario.hpp"
@@ -36,10 +37,18 @@ void on_signal(int) {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s --topo \"<scenario spec>\" [--port N]\n"
-      "  --topo SPEC   topology, as a bneck_check scenario spec\n"
-      "                (e.g. \"v1 topo=dumbbell a=3\"; events ignored)\n"
-      "  --port N      UDP port on 127.0.0.1 (default 0 = ephemeral)\n",
+      "usage: %s --topo \"<scenario spec>\" [--port N] [--expiry-ms N]\n"
+      "       [--summary-ms N] [--faults SPEC]\n"
+      "  --topo SPEC     topology, as a bneck_check scenario spec\n"
+      "                  (e.g. \"v1 topo=dumbbell a=3\"; events ignored)\n"
+      "  --port N        UDP port on 127.0.0.1 (default 0 = ephemeral)\n"
+      "  --expiry-ms N   reap sessions of clients silent N ms (default\n"
+      "                  2000; 0 disables liveness expiry)\n"
+      "  --summary-ms N  print a counter summary to stderr every N ms\n"
+      "                  (default 5000; 0 disables)\n"
+      "  --faults SPEC   serve behind a deterministic lossy wire, e.g.\n"
+      "                  \"seed=7,drop=0.1,dup=0.05\" (see bneck_check\n"
+      "                  --help for the full key list)\n",
       argv0);
 }
 
@@ -48,6 +57,9 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string spec;
   int port = 0;
+  int expiry_ms = 2000;
+  int summary_ms = 5000;
+  std::optional<bneck::transport::FaultConfig> faults;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -66,6 +78,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       port = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--expiry-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr || (expiry_ms = std::atoi(v)) < 0) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--summary-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr || (summary_ms = std::atoi(v)) < 0) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      const char* v = next();
+      std::string error;
+      if (v == nullptr ||
+          !(faults = bneck::transport::FaultConfig::parse(v, &error))) {
+        std::fprintf(stderr, "bneckd: bad --faults spec: %s\n",
+                     error.c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0]);
       return 0;
@@ -83,8 +116,12 @@ int main(int argc, char** argv) {
   try {
     const bneck::check::Scenario sc = bneck::check::parse_spec(spec);
     const bneck::net::Network net = bneck::check::build_network(sc.topo);
-    bneck::transport::Daemon daemon(net,
-                                    static_cast<std::uint16_t>(port));
+    bneck::transport::DaemonOptions opts;
+    opts.port = static_cast<std::uint16_t>(port);
+    opts.session_expiry = bneck::milliseconds(expiry_ms);
+    opts.summary_period = bneck::milliseconds(summary_ms);
+    opts.faults = faults;
+    bneck::transport::Daemon daemon(net, opts);
     g_daemon = &daemon;
     ::signal(SIGINT, on_signal);
     ::signal(SIGTERM, on_signal);
@@ -100,11 +137,24 @@ int main(int argc, char** argv) {
 
     const auto& st = daemon.stats();
     std::printf("bneckd: exiting; %llu frames accepted, %llu rejected, "
-                "%llu invariant trips, %llu status requests\n",
+                "%llu invariant trips, %llu status requests, "
+                "%llu retransmissions, %u expired sessions\n",
                 static_cast<unsigned long long>(st.frames_accepted),
                 static_cast<unsigned long long>(st.frames_rejected),
                 static_cast<unsigned long long>(st.invariant_trips),
-                static_cast<unsigned long long>(st.status_requests));
+                static_cast<unsigned long long>(st.status_requests),
+                static_cast<unsigned long long>(
+                    daemon.transport().retransmissions()),
+                st.expired_sessions);
+    const bneck::wire::StatusReply snap = daemon.status_reply();
+    for (int i = 0; i < bneck::wire::kRejectReasonCount; ++i) {
+      const std::uint32_t n = snap.rejects[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      std::printf("bneckd:   rejects[%s] = %u\n",
+                  bneck::wire::reject_reason_name(
+                      static_cast<bneck::wire::RejectReason>(i)),
+                  n);
+    }
     if (!daemon.last_reject().empty()) {
       std::printf("bneckd: last rejection: %s\n",
                   daemon.last_reject().c_str());
