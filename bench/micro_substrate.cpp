@@ -15,11 +15,20 @@
 namespace bneck {
 namespace {
 
+// The event-queue benches are templated over the simulator's queue seam
+// so the production ladder queue and the PR-2 reference heap run side by
+// side in one binary — an interleaved same-host A/B (the CI smoke runs
+// exactly this filter; see .github/workflows/ci.yml).  The unsuffixed
+// names are the production queue, so their history stays comparable
+// across BENCH_pr*.json baselines; the "...Heap" variants are the
+// reference.
+
 // Callback-kind events: the cold path (std::function, may allocate).
+template <class Sim>
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   const auto n = static_cast<std::int64_t>(state.range(0));
   for (auto _ : state) {
-    sim::Simulator sim;
+    Sim sim;
     std::int64_t sum = 0;
     for (std::int64_t i = 0; i < n; ++i) {
       sim.schedule_at(i % 1000, [&sum, i] { sum += i; });
@@ -29,7 +38,14 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_EventQueueScheduleRun, sim::Simulator)
+    ->Name("BM_EventQueueScheduleRun")
+    ->Arg(1000)
+    ->Arg(100000);
+BENCHMARK_TEMPLATE(BM_EventQueueScheduleRun, sim::HeapSimulator)
+    ->Name("BM_EventQueueScheduleRunHeap")
+    ->Arg(1000)
+    ->Arg(100000);
 
 // Delivery-kind events: the allocation-free hot path every protocol
 // packet takes (a Packet payload stored inline, one handler dispatch).
@@ -39,10 +55,11 @@ struct PacketCounter final
   void on_delivery(const core::Packet& p) { sum += p.hop; }
 };
 
+template <class Sim>
 void BM_EventQueuePacketDelivery(benchmark::State& state) {
   const auto n = static_cast<std::int64_t>(state.range(0));
   for (auto _ : state) {
-    sim::Simulator sim;
+    Sim sim;
     PacketCounter counter;
     core::Packet p;
     for (std::int64_t i = 0; i < n; ++i) {
@@ -54,13 +71,21 @@ void BM_EventQueuePacketDelivery(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EventQueuePacketDelivery)->Arg(1000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_EventQueuePacketDelivery, sim::Simulator)
+    ->Name("BM_EventQueuePacketDelivery")
+    ->Arg(1000)
+    ->Arg(100000);
+BENCHMARK_TEMPLATE(BM_EventQueuePacketDelivery, sim::HeapSimulator)
+    ->Name("BM_EventQueuePacketDeliveryHeap")
+    ->Arg(1000)
+    ->Arg(100000);
 
 // Mixed schedule like a real run: mostly deliveries, some callbacks.
+template <class Sim>
 void BM_EventQueueMixed(benchmark::State& state) {
   const auto n = static_cast<std::int64_t>(state.range(0));
   for (auto _ : state) {
-    sim::Simulator sim;
+    Sim sim;
     PacketCounter counter;
     std::int64_t sum = 0;
     core::Packet p;
@@ -77,7 +102,12 @@ void BM_EventQueueMixed(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EventQueueMixed)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_EventQueueMixed, sim::Simulator)
+    ->Name("BM_EventQueueMixed")
+    ->Arg(100000);
+BENCHMARK_TEMPLATE(BM_EventQueueMixed, sim::HeapSimulator)
+    ->Name("BM_EventQueueMixedHeap")
+    ->Arg(100000);
 
 void BM_FifoChannelTransmit(benchmark::State& state) {
   sim::FifoChannel ch;

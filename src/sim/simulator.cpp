@@ -1,94 +1,11 @@
 #include "sim/simulator.hpp"
 
-#include <utility>
-
 namespace bneck::sim {
 
-void Simulator::push(TimeNs t, Event ev) {
-  BNECK_EXPECT(t >= now_, "cannot schedule into the past");
-  // Grow both arrays before mutating either: once capacity is secured
-  // the push_backs cannot throw (Event's move constructor is noexcept),
-  // so a bad_alloc can never leave keys_ and evs_ desynchronized.
-  if (keys_.size() == keys_.capacity() || evs_.size() == evs_.capacity()) {
-    const std::size_t want = keys_.size() < 32 ? 64 : keys_.size() * 2;
-    keys_.reserve(want);
-    evs_.reserve(want);
-  }
-  const Key k{t, seq_++};
-  keys_.push_back(k);
-  evs_.push_back(std::move(ev));
-  // Sift the new leaf up (hole technique: one move per level).
-  std::size_t i = keys_.size() - 1;
-  if (i > 0 && before(k, keys_[(i - 1) >> 2])) {
-    Event e = std::move(evs_[i]);
-    do {
-      const std::size_t parent = (i - 1) >> 2;
-      if (!before(k, keys_[parent])) break;
-      keys_[i] = keys_[parent];
-      evs_[i] = std::move(evs_[parent]);
-      i = parent;
-    } while (i > 0);
-    keys_[i] = k;
-    evs_[i] = std::move(e);
-  }
-}
-
-void Simulator::check_budget() const {
-  BNECK_EXPECT(processed_ <= max_events_,
-               "event budget exceeded: protocol is not quiescing");
-}
-
-bool Simulator::step() {
-  if (keys_.empty()) return false;
-  now_ = keys_.front().t;
-  last_event_time_ = now_;
-  ++processed_;
-  check_budget();
-  Event ev = std::move(evs_.front());
-
-  // Remove the root: move the last entry in and sift it down.
-  const Key last_k = keys_.back();
-  keys_.pop_back();
-  const std::size_t n = keys_.size();
-  if (n > 0) {
-    Event last_e = std::move(evs_.back());
-    evs_.pop_back();
-    std::size_t i = 0;
-    for (;;) {
-      const std::size_t first = 4 * i + 1;
-      if (first >= n) break;
-      std::size_t best = first;
-      const std::size_t end = first + 4 < n ? first + 4 : n;
-      for (std::size_t c = first + 1; c < end; ++c) {
-        if (before(keys_[c], keys_[best])) best = c;
-      }
-      if (!before(keys_[best], last_k)) break;
-      keys_[i] = keys_[best];
-      evs_[i] = std::move(evs_[best]);
-      i = best;
-    }
-    keys_[i] = last_k;
-    evs_[i] = std::move(last_e);
-  } else {
-    evs_.pop_back();
-  }
-
-  ev.fire();
-  return true;
-}
-
-TimeNs Simulator::run_until_idle() {
-  while (step()) {
-  }
-  return last_event_time_;
-}
-
-void Simulator::run_until(TimeNs t) {
-  BNECK_EXPECT(t >= now_, "run_until into the past");
-  while (!keys_.empty() && keys_.front().t <= t) {
-    step();
-  }
-  now_ = t;
-}
+// Both sides of the queue seam are instantiated here so the library
+// always carries a compiled reference simulator for the A/B fire-order
+// gate, whatever the test configuration.
+template class BasicSimulator<LadderQueue>;
+template class BasicSimulator<HeapQueue>;
 
 }  // namespace bneck::sim

@@ -10,15 +10,23 @@
 // Events are typed (sim/event.hpp): the dominant kind — delivery of a
 // small trivially-copyable payload to a long-lived handler — is stored
 // inline in the queue entry and never heap-allocates; arbitrary
-// std::function callbacks remain available for cold-path events.  The
-// queue itself is an owned 4-ary min-heap split into parallel arrays
-// moved in lockstep: sift comparisons scan only the packed 16-byte
-// {time, seq} keys (all four children of a node share one cache line),
-// while the 48-byte event bodies are moved at most once per level.
-// Compared with std::priority_queue's binary heap of fat entries this
-// halves the levels per sift and cuts the lines touched per comparison.
-// Owning the heap also lets step() move entries out legally (no
-// const_cast of top()) and lets run_until() peek at the head timestamp.
+// std::function callbacks remain available for cold-path events.
+//
+// The queue itself sits behind a policy seam: BasicSimulator<Queue>
+// takes any queue ordering events by (time, insertion-seq).  Two
+// implementations exist —
+//
+//   sim::LadderQueue (ladder_queue.hpp)  the production queue: a
+//       calendar/ladder structure whose sorted bottom run makes pop an
+//       index increment, drains same-timestamp bursts (protocol kicks)
+//       without any re-sorting, and keeps min_time() O(1) for horizon
+//       peeks;
+//   sim::HeapQueue (heap_queue.hpp)  the PR-2 owned 4-ary min-heap,
+//       kept as the reference for the A/B fire-order gate in
+//       tests/sim_test.cpp and the side-by-side micro benches.
+//
+// `Simulator` is the production alias; everything in the tree runs on
+// it.  `HeapSimulator` exists for tests and benches only.
 //
 // The B-Neck evaluation relies on `run_until_idle()` — B-Neck is
 // quiescent, so after a burst of session changes the queue *drains*, and
@@ -28,15 +36,18 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <utility>
 
 #include "base/expect.hpp"
 #include "base/time.hpp"
 #include "sim/event.hpp"
+#include "sim/heap_queue.hpp"
+#include "sim/ladder_queue.hpp"
 
 namespace bneck::sim {
 
-class Simulator {
+template <class Queue>
+class BasicSimulator {
  public:
 
   /// Schedules fn at absolute time t.  Requires t >= now().
@@ -72,27 +83,53 @@ class Simulator {
   [[nodiscard]] TimeNs now() const { return now_; }
 
   /// Runs until the queue drains.  Returns the timestamp of the last
-  /// processed event (now() if no event ran).  Throws InvariantError if
+  /// processed event (now() if no event ran — in particular, after a
+  /// trailing run_until(t) left the queue idle this returns t, not the
+  /// stale pre-run_until last_event_time()).  Throws InvariantError if
   /// max_events() is exceeded.
-  TimeNs run_until_idle();
+  TimeNs run_until_idle() {
+    while (step()) {
+    }
+    // step() keeps now_ == last_event_time_ whenever an event ran, and
+    // now_ is the documented answer when none did.
+    return now_;
+  }
 
   /// Processes every event with timestamp <= t, then advances now() to t.
   /// Events scheduled during processing are honored if they fall within t.
-  void run_until(TimeNs t);
+  void run_until(TimeNs t) {
+    BNECK_EXPECT(t >= now_, "run_until into the past");
+    while (!queue_.empty() && queue_.min_time() <= t) {
+      step();
+    }
+    now_ = t;
+  }
 
   /// Processes exactly one event if available; returns false when idle.
-  bool step();
+  bool step() {
+    if (queue_.empty()) return false;
+    TimeNs t;
+    Event ev = queue_.pop(&t);
+    now_ = t;
+    last_event_time_ = t;
+    ++processed_;
+    check_budget();
+    ev.fire();
+    // Post-fire housekeeping: the ladder queue defers its bottom refill
+    // to here so events the handler just scheduled near now() are
+    // bucketed arithmetically instead of spliced into the next run.
+    queue_.prepare();
+    return true;
+  }
 
-  [[nodiscard]] bool idle() const { return keys_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return keys_.size(); }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
   /// Timestamp of the earliest pending event; kTimeNever when idle.
   /// Checker hook: lets an external driver process events one step at a
   /// time up to a horizon (with per-step inspection) without consuming
-  /// events beyond it.
-  [[nodiscard]] TimeNs next_event_time() const {
-    return keys_.empty() ? kTimeNever : keys_.front().t;
-  }
+  /// events beyond it.  O(1) on both queue backends.
+  [[nodiscard]] TimeNs next_event_time() const { return queue_.min_time(); }
 
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] TimeNs last_event_time() const { return last_event_time_; }
@@ -101,34 +138,34 @@ class Simulator {
   void set_max_events(std::uint64_t m) { max_events_ = m; }
 
  private:
-  struct Key {
-    TimeNs t;
-    std::uint64_t seq;
-  };
-
-  /// Heap order: earlier time first, ties by insertion sequence — the
-  /// determinism contract.
-  static bool before(const Key& a, const Key& b) {
-    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  void push(TimeNs t, Event ev) {
+    BNECK_EXPECT(t >= now_, "cannot schedule into the past");
+    queue_.push(t, seq_++, std::move(ev));
   }
 
-  void push(TimeNs t, Event ev);
-  void check_budget() const;
+  void check_budget() const {
+    BNECK_EXPECT(processed_ <= max_events_,
+                 "event budget exceeded: protocol is not quiescing");
+  }
 
-  // 4-ary min-heap: children of i are 4i+1 .. 4i+4, split into parallel
-  // arrays moved in lockstep.  Sift comparisons scan only the packed
-  // 16-byte keys (all four children of a node share one cache line);
-  // the 48-byte event bodies are touched once per level at most.  An
-  // out-of-line event store with per-slot indices was tried and measured
-  // slower — the indirection on every fire outweighs the cheaper moves.
-  std::vector<Key> keys_;
-  std::vector<Event> evs_;
+  Queue queue_;
   TimeNs now_ = 0;
   TimeNs last_event_time_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t max_events_ = 4'000'000'000ULL;
 };
+
+/// The production simulator: calendar/ladder queue with same-timestamp
+/// batch draining.
+using Simulator = BasicSimulator<LadderQueue>;
+
+/// The reference simulator on the PR-2 4-ary heap — the other side of
+/// the queue seam, for A/B fire-order tests and micro benches only.
+using HeapSimulator = BasicSimulator<HeapQueue>;
+
+extern template class BasicSimulator<LadderQueue>;
+extern template class BasicSimulator<HeapQueue>;
 
 /// Per-directed-link FIFO transmission clock.
 ///

@@ -157,8 +157,9 @@ void FaultInjector::process(TimeNs now, const Endpoint& to,
   if (u < edge + cfg_.delay) {
     ++counters_.delayed;
     Held h;
-    h.due = now + rng_.uniform_int(cfg_.delay_min,
-                                   std::max(cfg_.delay_max, cfg_.delay_min));
+    // delay_max >= delay_min is the constructor's validated invariant;
+    // a zero-width window (delay_min == delay_max) is a fixed delay.
+    h.due = now + rng_.uniform_int(cfg_.delay_min, cfg_.delay_max);
     h.to = to;
     h.bytes.assign(bytes.begin(), bytes.end());
     held_.push_back(std::move(h));

@@ -308,6 +308,39 @@ TEST(FaultInjector, ScheduleIsAPureFunctionOfTheSeed) {
                              n.corrupted + n.delayed);
 }
 
+TEST(FaultInjector, ZeroWidthDelayWindowIsAFixedDelay) {
+  // delay-min-ms == delay-max-ms is a legal window (the constructor
+  // invariant is delay_max >= delay_min): every delayed frame is held
+  // for exactly that long, due precisely at now + delay_min.
+  FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.delay = 0.9;
+  cfg.delay_min = milliseconds(25);
+  cfg.delay_max = milliseconds(25);
+  FaultInjector inj(cfg);
+
+  std::vector<Emitted> trace;
+  const FaultInjector::Emit emit =
+      [&trace](const Endpoint& to, std::span<const std::uint8_t> bytes) {
+        trace.push_back({to, {bytes.begin(), bytes.end()}});
+      };
+  const Endpoint peer = Endpoint::loopback(999);
+  for (int i = 0; i < 50; ++i) {
+    auto frame = probe_frame(i);
+    inj.process(/*now=*/0, peer, frame, emit);
+  }
+  const std::uint64_t held = inj.counters().delayed;
+  ASSERT_GT(held, 0u);
+  EXPECT_EQ(inj.next_due(), milliseconds(25));
+
+  // One instant before the deadline nothing is released; at it,
+  // everything is.
+  inj.flush(milliseconds(25) - 1, emit);
+  EXPECT_EQ(trace.size(), 50u - held);
+  inj.flush(milliseconds(25), emit);
+  EXPECT_EQ(trace.size(), 50u);
+}
+
 TEST(FaultInjector, DisarmReleasesHeldFramesAndPassesThrough) {
   FaultConfig cfg;
   cfg.seed = 7;

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -219,6 +221,145 @@ TEST(SimulatorDeterminismContract, HeapOrdersArbitraryTimesWithTies) {
   ASSERT_EQ(fired.size(), scheduled.size());
   for (std::size_t i = 0; i < fired.size(); ++i) {
     EXPECT_EQ(fired[i], scheduled[i].second) << "at position " << i;
+  }
+}
+
+TEST(Simulator, RunUntilIdleAfterTrailingRunUntilReturnsHorizon) {
+  // Regression: run_until(t) advances now() past the last processed
+  // event; a following run_until_idle() that finds the queue empty must
+  // report t (the current time), not the stale pre-run_until event time.
+  Simulator s;
+  s.schedule_at(10, [] {});
+  s.run_until(50);
+  EXPECT_EQ(s.last_event_time(), 10);
+  EXPECT_EQ(s.run_until_idle(), 50);
+  EXPECT_EQ(s.now(), 50);
+}
+
+// ---- the queue seam: heap vs ladder A/B gate ----
+//
+// BasicSimulator<HeapQueue> is the PR-2 reference simulator; the
+// production Simulator runs on the ladder queue.  Any queue obeying the
+// (time, insertion-seq) contract must fire byte-identically, so these
+// tests replay the same scenario through both and compare the full
+// (time, id) fire sequences.  The scenarios deliberately hit every
+// ladder path: bulk driver scheduling in arbitrary time order between
+// run_until() phases (bottom spill), same-instant kick bursts (batch
+// drain), schedule-during-fire at and after the current instant
+// (deferred refill), and partial horizons that leave events pending.
+
+template <class Sim>
+std::vector<std::pair<TimeNs, int>> replay_scripted_scenario(
+    std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Sim s;
+  std::vector<std::pair<TimeNs, int>> fired;
+  int next_id = 0;
+  // Handlers draw from the scenario rng in fire order, so the two
+  // replays see identical draws exactly as long as they fire in the
+  // same order — any divergence cascades into the compared sequences.
+  std::function<void(int)> fire = [&](int id) {
+    fired.emplace_back(s.now(), id);
+    if (rng() % 10 < 3) {
+      const int kids = 1 + static_cast<int>(rng() % 2);
+      for (int k = 0; k < kids; ++k) {
+        const TimeNs delay = static_cast<TimeNs>(rng() % 3 ? rng() % 40 : 0);
+        const int kid = next_id++;
+        s.schedule_in(delay, [&fire, kid] { fire(kid); });
+      }
+    }
+  };
+  for (int phase = 0; phase < 5; ++phase) {
+    // Bulk driver scheduling in arbitrary time order...
+    for (int i = 0; i < 400; ++i) {
+      const TimeNs t = s.now() + static_cast<TimeNs>(rng() % 1000);
+      const int id = next_id++;
+      s.schedule_at(t, [&fire, id] { fire(id); });
+    }
+    // ...plus a same-instant kick burst...
+    const TimeNs burst_at = s.now() + static_cast<TimeNs>(rng() % 200);
+    for (int i = 0; i < 300; ++i) {
+      const int id = next_id++;
+      s.schedule_at(burst_at, [&fire, id] { fire(id); });
+    }
+    // ...then a partial horizon that leaves the tail pending.
+    s.run_until(s.now() + 600);
+  }
+  s.run_until_idle();
+  return fired;
+}
+
+TEST(QueueAB, RandomizedSchedulesFireIdenticallyOnHeapAndLadder) {
+  for (const std::uint64_t seed : {11ULL, 222ULL, 3333ULL}) {
+    const auto heap = replay_scripted_scenario<HeapSimulator>(seed);
+    const auto ladder = replay_scripted_scenario<Simulator>(seed);
+    ASSERT_EQ(heap.size(), ladder.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+      ASSERT_EQ(heap[i], ladder[i]) << "seed " << seed << " position " << i;
+    }
+  }
+}
+
+template <class Sim>
+std::vector<int> replay_kick_burst() {
+  // Protocol-kick shape: thousands of events at one instant, where the
+  // first wave schedules zero-delay follow-ups from inside the burst.
+  // The whole run must fire in insertion order (the batch-drain fast
+  // path inherits seq order without sorting).
+  Sim s;
+  std::vector<int> fired;
+  constexpr int kBurst = 5000;
+  for (int i = 0; i < kBurst; ++i) {
+    s.schedule_at(100, [&fired, &s, i] {
+      fired.push_back(i);
+      if (i < 1000) {
+        s.schedule_in(0, [&fired, i] { fired.push_back(kBurst + i); });
+      }
+    });
+  }
+  s.run_until_idle();
+  return fired;
+}
+
+TEST(QueueAB, KickBurstDrainsInInsertionOrderOnBothQueues) {
+  std::vector<int> expect;
+  for (int i = 0; i < 5000; ++i) expect.push_back(i);
+  for (int i = 0; i < 1000; ++i) expect.push_back(5000 + i);
+  EXPECT_EQ(replay_kick_burst<HeapSimulator>(), expect);
+  EXPECT_EQ(replay_kick_burst<Simulator>(), expect);
+}
+
+TEST(QueueAB, InterleavedBurstsAndStragglersMatchStableSort) {
+  // Dense same-timestamp runs at a handful of instants, interleaved
+  // with sparse stragglers, scheduled in shuffled order: both queues
+  // must reproduce the stable sort of the schedule.
+  std::mt19937_64 rng(99);
+  std::vector<std::pair<TimeNs, int>> scheduled;
+  for (int i = 0; i < 8000; ++i) {
+    // ~75% pile onto 4 hot instants; the rest spread thin.
+    const TimeNs t = rng() % 4 != 0
+                         ? static_cast<TimeNs>(1000 * (1 + rng() % 4))
+                         : static_cast<TimeNs>(rng() % 5000);
+    scheduled.emplace_back(t, i);
+  }
+  const auto replay = [&](auto sim) {
+    std::vector<int> fired;
+    for (const auto& [t, id] : scheduled) {
+      sim.schedule_at(t, [&fired, id = id] { fired.push_back(id); });
+    }
+    sim.run_until_idle();
+    return fired;
+  };
+  const auto heap = replay(HeapSimulator{});
+  const auto ladder = replay(Simulator{});
+  auto expect = scheduled;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(heap.size(), expect.size());
+  ASSERT_EQ(ladder.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(heap[i], expect[i].second) << "heap at " << i;
+    ASSERT_EQ(ladder[i], expect[i].second) << "ladder at " << i;
   }
 }
 
