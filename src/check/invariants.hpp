@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/bounds.hpp"
 #include "core/bneck.hpp"
 #include "core/trace.hpp"
 #include "net/network.hpp"
@@ -51,10 +52,11 @@ struct CheckOptions {
   /// Multiplier on the structural quiescence-time bound; <= 0 disables.
   /// Only enforced on reliable links (ARQ retransmission timers under
   /// loss add stochastic delay the paper's bound does not model).
-  double quiescence_slack = 32.0;
+  /// The calibrated value lives in check/bounds.hpp (one place).
+  double quiescence_slack = kQuiescenceSlack;
   /// Multiplier on the per-phase control-packet budget; <= 0 disables.
   /// Only enforced on loss-free links (retransmissions inflate counts).
-  double packet_slack = 64.0;
+  double packet_slack = kPacketSlack;
   /// Arms the documented harness-validation mutation
   /// (BneckConfig::fault_single_kick).
   bool fault_single_kick = false;
@@ -108,6 +110,34 @@ class InvariantChecker final : public core::TraceSink {
   }
   [[nodiscard]] int quiescent_phases() const { return quiescent_phases_; }
 
+  // ---- snapshot/restore (model-checker seam, src/mc/) ----
+  // State is an opaque value capture of every mutable field (the net/cfg
+  // references and the attached protocol pointer are identity, not
+  // state).  It is a private type returned through public methods: hold
+  // it with auto — the model checker only ever round-trips it.
+  [[nodiscard]] auto snapshot_state() const {
+    return State{violation_,     sessions_,
+                 active_count_,  last_change_at_,
+                 phase_packets_, phase_packet_budget_,
+                 phase_quiescence_bound_, phase_dirty_,
+                 draining_hops_, steps_since_audit_,
+                 quiescent_phases_};
+  }
+  template <class St>
+  void restore_state(const St& st) {
+    violation_ = st.violation;
+    sessions_ = st.sessions;
+    active_count_ = st.active_count;
+    last_change_at_ = st.last_change_at;
+    phase_packets_ = st.phase_packets;
+    phase_packet_budget_ = st.phase_packet_budget;
+    phase_quiescence_bound_ = st.phase_quiescence_bound;
+    phase_dirty_ = st.phase_dirty;
+    draining_hops_ = st.draining_hops;
+    steps_since_audit_ = st.steps_since_audit;
+    quiescent_phases_ = st.quiescent_phases;
+  }
+
  private:
   struct SessionInfo {
     net::Path path;
@@ -115,6 +145,23 @@ class InvariantChecker final : public core::TraceSink {
     double weight = 1.0;                // max-min weight
     Rate min_capacity = kRateInfinity;  // tightest link on the path
     bool active = false;
+  };
+
+  /// The value behind snapshot_state()/restore_state(): every mutable
+  /// field, copyable.  Kept private (with SessionInfo) — callers hold it
+  /// through auto.
+  struct State {
+    std::string violation;
+    std::unordered_map<SessionId, SessionInfo> sessions;
+    std::size_t active_count;
+    TimeNs last_change_at;
+    std::uint64_t phase_packets;
+    std::uint64_t phase_packet_budget;
+    TimeNs phase_quiescence_bound;
+    bool phase_dirty;
+    std::size_t draining_hops;
+    std::uint64_t steps_since_audit;
+    int quiescent_phases;
   };
 
   void fail(TimeNs t, const std::string& what);

@@ -19,6 +19,32 @@ void step_to(sim::Simulator& sim, InvariantChecker& chk, TimeNs horizon) {
 
 }  // namespace
 
+void apply_schedule_event(const net::Network& net,
+                          const net::PathFinder& paths,
+                          InvariantChecker& chk, core::BneckProtocol& bneck,
+                          const ScheduleEvent& ev) {
+  const SessionId s{ev.session};
+  switch (ev.kind) {
+    case EventKind::Join: {
+      const auto path = paths.shortest_path(
+          net.hosts()[static_cast<std::size_t>(ev.src_host)],
+          net.hosts()[static_cast<std::size_t>(ev.dst_host)]);
+      BNECK_EXPECT(path.has_value(), "no route between scenario hosts");
+      chk.on_join(s, *path, ev.demand, ev.weight);
+      bneck.join(s, *path, ev.demand, ev.weight);
+      break;
+    }
+    case EventKind::Leave:
+      chk.on_leave(s);
+      bneck.leave(s);
+      break;
+    case EventKind::Change:
+      chk.on_change(s, ev.demand, ev.weight);
+      bneck.change(s, ev.demand, ev.weight);
+      break;
+  }
+}
+
 CheckResult run_scenario(const Scenario& sc, const CheckOptions& opt) {
   CheckResult out;
   out.seed = sc.seed;
@@ -59,27 +85,7 @@ CheckResult run_scenario(const Scenario& sc, const CheckOptions& opt) {
       }
       sim.run_until(t);  // no events <= t remain; advances now() to t
       for (; i < run.events.size() && run.events[i].at == t; ++i) {
-        const ScheduleEvent& ev = run.events[i];
-        const SessionId s{ev.session};
-        switch (ev.kind) {
-          case EventKind::Join: {
-            const auto path = paths.shortest_path(
-                net.hosts()[static_cast<std::size_t>(ev.src_host)],
-                net.hosts()[static_cast<std::size_t>(ev.dst_host)]);
-            BNECK_EXPECT(path.has_value(), "no route between scenario hosts");
-            chk.on_join(s, *path, ev.demand, ev.weight);
-            bneck.join(s, *path, ev.demand, ev.weight);
-            break;
-          }
-          case EventKind::Leave:
-            chk.on_leave(s);
-            bneck.leave(s);
-            break;
-          case EventKind::Change:
-            chk.on_change(s, ev.demand, ev.weight);
-            bneck.change(s, ev.demand, ev.weight);
-            break;
-        }
+        apply_schedule_event(net, paths, chk, bneck, run.events[i]);
       }
       chk.on_burst(t);
       pending_validation = true;

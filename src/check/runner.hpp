@@ -28,6 +28,15 @@ namespace bneck::check {
 [[nodiscard]] CheckResult run_scenario(const Scenario& sc,
                                        const CheckOptions& opt);
 
+/// Applies one schedule event to checker + protocol — the single
+/// definition of "what a ScheduleEvent means", shared by run_scenario
+/// and the model checker's world (src/mc/world.cpp) so the two drivers
+/// cannot drift.  Joins resolve their path through `paths`.
+void apply_schedule_event(const net::Network& net,
+                          const net::PathFinder& paths,
+                          InvariantChecker& chk, core::BneckProtocol& bneck,
+                          const ScheduleEvent& ev);
+
 /// generate_scenario(seed) + run_scenario.
 [[nodiscard]] CheckResult run_seed(std::uint64_t seed,
                                    const CheckOptions& opt);

@@ -262,6 +262,107 @@ Scenario generate_scenario(std::uint64_t seed) {
   return sc;
 }
 
+Scenario generate_small_scenario(std::uint64_t seed,
+                                 const SmallModelParams& p) {
+  BNECK_EXPECT(p.routers >= 1 && p.routers <= 3,
+               "small-model instances have 1..3 routers");
+  BNECK_EXPECT(p.sessions >= 1 && p.sessions <= 4,
+               "small-model instances have 1..4 sessions");
+  BNECK_EXPECT(p.extra_events >= 0, "extra_events must be non-negative");
+  // Decorrelate from generate_scenario's stream so seed k names a
+  // different instance in each family.
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x536d616c6cull);
+  Scenario sc;
+  sc.seed = seed;
+
+  TopoSpec& t = sc.topo;
+  t.kind = TopoKind::Line;
+  t.a = p.routers;
+  // Enough hosts that every burst session gets its own source (the model
+  // checker runs dedicated access links) plus one spare destination.
+  t.hpr = (p.sessions + p.routers) / p.routers;
+  t.router_capacity = rng.pick(std::vector<Rate>{100.0, 200.0});
+  t.access_capacity = rng.pick(std::vector<Rate>{50.0, 100.0});
+  t.wan = false;  // LAN delays: 1 us hops, so deliveries tie and race
+  sc.loss_probability = 0.0;
+  sc.shared_access = false;
+
+  const std::int32_t host_count = build_network(t).host_count();
+  const Rate demand_hi = 1.5 * t.router_capacity;
+  std::vector<bool> host_used(static_cast<std::size_t>(host_count), false);
+  struct Live {
+    std::int32_t id;
+    std::int32_t src;
+    double weight;
+  };
+  std::vector<Live> live;
+  std::int32_t next_id = 0;
+  TimeNs clock = 0;
+
+  const auto join = [&](TimeNs at) {
+    std::vector<std::int32_t> free;
+    for (std::int32_t h = 0; h < host_count; ++h) {
+      if (!host_used[static_cast<std::size_t>(h)]) free.push_back(h);
+    }
+    if (free.empty()) return;
+    const std::int32_t src = free[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(free.size()) - 1))];
+    std::int32_t dst = src;
+    while (dst == src) {
+      dst = static_cast<std::int32_t>(rng.uniform_int(0, host_count - 1));
+    }
+    host_used[static_cast<std::size_t>(src)] = true;
+    ScheduleEvent ev;
+    ev.at = at;
+    ev.kind = EventKind::Join;
+    ev.session = next_id++;
+    ev.src_host = src;
+    ev.dst_host = dst;
+    ev.demand =
+        rng.chance(0.5) ? rng.uniform_real(10.0, demand_hi) : kRateInfinity;
+    if (rng.chance(0.3)) ev.weight = rng.uniform_real(0.5, 2.0);
+    sc.events.push_back(ev);
+    live.push_back({ev.session, src, ev.weight});
+  };
+
+  // Opening burst: all sessions join, about half on coincident instants
+  // so same-window delivery races exist from the first transition.
+  for (std::int32_t s = 0; s < p.sessions; ++s) {
+    if (s > 0 && rng.chance(0.5)) clock += rng.uniform_int(1, microseconds(20));
+    join(clock);
+  }
+
+  for (std::int32_t e = 0; e < p.extra_events; ++e) {
+    if (rng.chance(0.5)) clock += rng.uniform_int(1, microseconds(50));
+    const double dice = rng.uniform_real(0.0, 1.0);
+    if (live.empty() || dice < 0.25) {
+      join(clock);
+    } else if (dice < 0.65) {
+      const auto k = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      ScheduleEvent ev;
+      ev.at = clock;
+      ev.kind = EventKind::Leave;
+      ev.session = live[k].id;
+      sc.events.push_back(ev);
+      host_used[static_cast<std::size_t>(live[k].src)] = false;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      const auto k = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      ScheduleEvent ev;
+      ev.at = clock;
+      ev.kind = EventKind::Change;
+      ev.session = live[k].id;
+      ev.demand =
+          rng.chance(0.3) ? kRateInfinity : rng.uniform_real(10.0, demand_hi);
+      ev.weight = live[k].weight;
+      sc.events.push_back(ev);
+    }
+  }
+  return sc;
+}
+
 std::size_t normalize(Scenario& sc) {
   std::stable_sort(
       sc.events.begin(), sc.events.end(),

@@ -97,6 +97,24 @@ struct Scenario {
 /// The fuzzer: expands one seed into a scenario.  Pure function of seed.
 [[nodiscard]] Scenario generate_scenario(std::uint64_t seed);
 
+/// Size knobs for generate_small_scenario.  The defaults describe the
+/// canonical model-checking instance: a 2-router line with 2 sessions
+/// and a couple of post-join events.
+struct SmallModelParams {
+  std::int32_t routers = 2;      // line length, 1..3
+  std::int32_t sessions = 2;     // sessions in the opening join burst, 1..4
+  std::int32_t extra_events = 2; // leaves/changes/rejoins after the burst
+};
+
+/// Small-model sibling of generate_scenario for the explicit-state model
+/// checker (src/mc/): tiny line topologies, LAN delays (so deliveries
+/// tie and interleavings exist), loss-free wires, dedicated access links
+/// — exactly the configurations the checker's snapshot seam supports —
+/// and a bursty clock (~half the events land on an already-used
+/// instant).  Pure function of (seed, params).
+[[nodiscard]] Scenario generate_small_scenario(std::uint64_t seed,
+                                               const SmallModelParams& p = {});
+
 /// Makes the event list valid: stable-sorts by time, then drops events
 /// that violate the API preconditions (join of an already-used session
 /// id or busy/out-of-range/self-paired host, leave/change of a session

@@ -70,6 +70,12 @@ const RouterLink* BneckProtocol::router_link(LinkId e) const {
   return slot < 0 ? nullptr : &link_arena_[static_cast<std::size_t>(slot)];
 }
 
+const net::Path* BneckProtocol::session_path(SessionId s) const {
+  const std::int32_t slot = slot_of(s);
+  if (slot < 0) return nullptr;
+  return &sessions_[static_cast<std::size_t>(slot)].path;
+}
+
 void BneckProtocol::on_rate(SessionId s, Rate r) {
   runtime(s).notified = r;
   const TimeNs now = wire_now();
@@ -99,22 +105,26 @@ void BneckProtocol::join(SessionId s, net::Path path, Rate demand,
   rt.path = std::move(path);
   rt.demand = demand;
   rt.weight = weight;
+  rt.source = make_source(rt);
+  ++active_count_;
+  rt.source->api_join(demand);
+}
+
+std::unique_ptr<SourceNode> BneckProtocol::make_source(const SessionRt& rt) {
   if (cfg_.shared_access_links) {
     // Extension: the access link is arbitrated by a RouterLink at the
     // host; the source starts the probe with its bare request (η
     // invalid: the initial restriction is the demand, not a link).
-    rt.source = std::make_unique<SourceNode>(
-        s, LinkId{}, kRateInfinity, /*emit_hop=*/-1, *this,
-        [this](SessionId sid, Rate r) { on_rate(sid, r); }, weight);
-  } else {
-    // Paper Figure 3: the source manages its dedicated access link and
-    // applies the Ds = min(r, Ce)/w transform itself.
-    rt.source = std::make_unique<SourceNode>(
-        s, rt.path.links.front(), first.capacity, /*emit_hop=*/0, *this,
-        [this](SessionId sid, Rate r) { on_rate(sid, r); }, weight);
+    return std::make_unique<SourceNode>(
+        rt.id, LinkId{}, kRateInfinity, /*emit_hop=*/-1, *this,
+        [this](SessionId sid, Rate r) { on_rate(sid, r); }, rt.weight);
   }
-  ++active_count_;
-  rt.source->api_join(demand);
+  // Paper Figure 3: the source manages its dedicated access link and
+  // applies the Ds = min(r, Ce)/w transform itself.
+  const net::Link& first = net_.link(rt.path.links.front());
+  return std::make_unique<SourceNode>(
+      rt.id, rt.path.links.front(), first.capacity, /*emit_hop=*/0, *this,
+      [this](SessionId sid, Rate r) { on_rate(sid, r); }, rt.weight);
 }
 
 void BneckProtocol::leave(SessionId s) {
@@ -247,6 +257,93 @@ void BneckProtocol::send_upstream(Packet p, std::int32_t from_hop) {
   const LinkId physical =
       net_.link(rt.path.links[static_cast<std::size_t>(to_hop)]).reverse;
   transmit(p, physical, to_hop);
+}
+
+BneckProtocol::Snapshot BneckProtocol::snapshot() const {
+  BNECK_EXPECT(owned_transport_ != nullptr && owned_transport_->lossless(),
+               "protocol snapshots require the owned loss-free "
+               "SimTransport binding");
+  Snapshot snap;
+  snap.sessions.reserve(sessions_.size());
+  for (const SessionRt& rt : sessions_) {
+    Snapshot::SessionState st;
+    st.demand = rt.demand;
+    st.weight = rt.weight;
+    st.notified = rt.notified;
+    st.probe_cycles = rt.probe_cycles;
+    st.active = rt.source != nullptr;
+    if (st.active) st.source = rt.source->state();
+    snap.sessions.push_back(st);
+  }
+  snap.tables.reserve(active_links_.size());
+  for (const LinkId e : active_links_) {
+    snap.tables.push_back(router_link(e)->table().snapshot());
+  }
+  snap.sources_in_use = sources_in_use_;
+  snap.active_count = active_count_;
+  snap.packets_sent = packets_sent_;
+  snap.last_packet_time = last_packet_time_;
+  snap.packets_by_type = packets_by_type_;
+  snap.total_probe_cycles = total_probe_cycles_;
+  snap.channel_busy = owned_transport_->channel_busy_snapshot();
+  return snap;
+}
+
+void BneckProtocol::restore(const Snapshot& snap) {
+  BNECK_EXPECT(owned_transport_ != nullptr && owned_transport_->lossless(),
+               "protocol snapshots require the owned loss-free "
+               "SimTransport binding");
+  BNECK_EXPECT(snap.sessions.size() <= sessions_.size() &&
+                   snap.tables.size() <= active_links_.size(),
+               "restore into a protocol that is not a descendant of the "
+               "snapshot");
+  // Sessions registered after the capture: unregister their ids and pop
+  // the slots (slots are append-only, so the snapshot's sessions are
+  // exactly the prefix).
+  while (sessions_.size() > snap.sessions.size()) {
+    const SessionId s = sessions_.back().id;
+    const auto v = static_cast<std::uint32_t>(s.value());
+    if (v < kDenseIdLimit) {
+      id_to_slot_[v] = -1;
+    } else {
+      sparse_ids_.erase(s);
+    }
+    sessions_.pop_back();
+  }
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    SessionRt& rt = sessions_[i];
+    const Snapshot::SessionState& st = snap.sessions[i];
+    rt.demand = st.demand;
+    rt.weight = st.weight;
+    rt.notified = st.notified;
+    rt.probe_cycles = st.probe_cycles;
+    if (st.active) {
+      // A departed (or never-yet-joined-back) task rolls back to life:
+      // rebuild it exactly as join() would, then overwrite its scalars.
+      if (rt.source == nullptr) rt.source = make_source(rt);
+      rt.source->restore_state(st.source);
+    } else {
+      rt.source.reset();
+    }
+  }
+  // RouterLink tasks are arena-allocated and never destroyed; a link
+  // instantiated after the capture is reset to an *empty* table, which
+  // is behaviorally identical to the task never having existed (every
+  // handler begins by resolving the packet's session in the table).
+  static const LinkSessionTable::Snapshot kEmptyTable{};
+  for (std::size_t i = 0; i < active_links_.size(); ++i) {
+    RouterLink& link = router_link_at(active_links_[i]);
+    link.restore_table(i < snap.tables.size() ? snap.tables[i] : kEmptyTable);
+  }
+  sources_in_use_ = snap.sources_in_use;
+  active_count_ = snap.active_count;
+  packets_sent_ = snap.packets_sent;
+  last_packet_time_ = snap.last_packet_time;
+  packets_by_type_ = snap.packets_by_type;
+  total_probe_cycles_ = snap.total_probe_cycles;
+  owned_transport_->restore_channel_busy(snap.channel_busy);
+  delivering_id_ = SessionId{};
+  delivering_slot_ = -1;
 }
 
 void BneckProtocol::deliver(const Packet& p) {

@@ -168,6 +168,12 @@ class BneckProtocol final : public Transport,
   /// carried a session.
   [[nodiscard]] const RouterLink* router_link(LinkId e) const;
 
+  /// The routed path of a session id — active or departed (tombstones
+  /// keep their path so in-flight packets still route); nullptr for ids
+  /// never joined.  The model checker (src/mc/) uses this to map a
+  /// pending delivery to the node whose task will process it.
+  [[nodiscard]] const net::Path* session_path(SessionId s) const;
+
   /// Directed links that have an instantiated RouterLink task, in
   /// construction order (deterministic).  Full-network walks — the
   /// property harness's per-link table audits in particular — iterate
@@ -209,6 +215,42 @@ class BneckProtocol final : public Transport,
     return total_probe_cycles_;
   }
 
+  // ---- snapshot/restore (model-checker seam, src/mc/) ----
+
+  /// A copyable value capture of the protocol's whole mutable state:
+  /// per-slot session runtime (demand/weight/notified/probe counters +
+  /// the SourceNode scalars), every instantiated RouterLink's session
+  /// table, the transport's per-link FIFO clocks and the global
+  /// counters.  Only supported on the owned-SimTransport binding with a
+  /// loss-free wire (ARQ state is not captured).  Identity that cannot
+  /// roll backwards — a session's path, the arena of RouterLink tasks,
+  /// active_links() — is NOT part of the snapshot: sessions/links that
+  /// appear after the capture are truncated/emptied on restore instead
+  /// (an empty table is behaviorally identical to a never-instantiated
+  /// link).
+  struct Snapshot {
+    struct SessionState {
+      Rate demand;
+      double weight;
+      std::optional<Rate> notified;
+      std::uint64_t probe_cycles;
+      bool active = false;                  // source task present
+      SourceNode::State source{};           // valid when active
+    };
+    std::vector<SessionState> sessions;     // slot order
+    std::vector<LinkSessionTable::Snapshot> tables;  // active_links_ order
+    std::vector<std::int32_t> sources_in_use;
+    std::size_t active_count = 0;
+    std::uint64_t packets_sent = 0;
+    TimeNs last_packet_time = 0;
+    std::array<std::uint64_t, kPacketTypeCount> packets_by_type{};
+    std::uint64_t total_probe_cycles = 0;
+    std::vector<TimeNs> channel_busy;       // SimTransport FIFO clocks
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
   // ---- Transport (used by the tasks; not part of the public API) ----
   void send_downstream(Packet p, std::int32_t from_hop) override;
   void send_upstream(Packet p, std::int32_t from_hop) override;
@@ -241,6 +283,10 @@ class BneckProtocol final : public Transport,
   std::int32_t register_session(SessionId s);  // new slot; rejects reuse
 
   SessionRt& runtime(SessionId s);
+  /// Builds the SourceNode task for a session (the mode-dependent half
+  /// of join(); restore() re-runs it when rolling a departed session
+  /// back to life).
+  [[nodiscard]] std::unique_ptr<SourceNode> make_source(const SessionRt& rt);
   /// Like runtime(), but reuses the slot deliver() already resolved when
   /// the send is for the packet being delivered — the common case for
   /// every forwarding hop, so the per-hop send costs no id lookup.

@@ -337,6 +337,48 @@ std::string LinkSessionTable::audit() const {
   return std::string();
 }
 
+LinkSessionTable::Snapshot LinkSessionTable::snapshot() const {
+  Snapshot snap;
+  snap.rows.reserve(recs_.size());
+  recs_.for_each([&snap](SessionId s, const Rec& r) {
+    snap.rows.push_back(
+        Snapshot::Row{s, r.mu, r.lambda, r.weight, r.in_r, r.hop});
+  });
+  std::sort(snap.rows.begin(), snap.rows.end(),
+            [](const Snapshot::Row& a, const Snapshot::Row& b) {
+              return a.s.value() < b.s.value();
+            });
+  snap.r_count = r_count_;
+  snap.r_weight = r_weight_;
+  snap.f_sum = f_sum_;
+  snap.f_mutations = f_mutations_;
+  return snap;
+}
+
+void LinkSessionTable::restore(const Snapshot& snap) {
+  recs_.clear();
+  idle_r_ = Index();
+  f_ = Index();
+  for (const Snapshot::Row& row : snap.rows) {
+    const auto [slot, inserted] = recs_.try_emplace(
+        row.s, Rec{row.mu, row.lambda, row.weight, row.in_r, row.hop});
+    (void)slot;
+    BNECK_EXPECT(inserted, "duplicate session in table snapshot");
+    if (row.in_r) {
+      if (row.mu == Mu::Idle) idle_r_.insert(row.lambda, row.s);
+    } else {
+      f_.insert(row.lambda, row.s);
+    }
+  }
+  // Aggregates verbatim, NOT recomputed: the live table carries them
+  // incrementally, and a restored run must continue with bit-identical
+  // arithmetic (be() comparisons are exact).
+  r_count_ = snap.r_count;
+  r_weight_ = snap.r_weight;
+  f_sum_ = snap.f_sum;
+  f_mutations_ = snap.f_mutations;
+}
+
 std::string LinkSessionTable::audit_handle(SessionHandle h) const {
   if (!h.valid()) return "null handle";
   std::ostringstream err;

@@ -313,6 +313,37 @@ class LinkSessionTable {
   /// (src/check/), not for per-packet paths.
   [[nodiscard]] std::string audit() const;
 
+  // ---- snapshot/restore (model-checker seam, src/mc/) ----
+
+  /// A copyable value capture of the whole table: every record row plus
+  /// the running aggregates VERBATIM (bit for bit — restoring via
+  /// recompute would drift from the incremental arithmetic the live
+  /// table would have carried, and be() comparisons are exact).  Rows
+  /// are sorted by session id, so equal logical states produce equal
+  /// snapshots regardless of map iteration order.
+  struct Snapshot {
+    struct Row {
+      SessionId s;
+      Mu mu;
+      Rate lambda;
+      double weight;
+      bool in_r;
+      std::int32_t hop;
+    };
+    std::vector<Row> rows;
+    std::size_t r_count = 0;
+    long double r_weight = 0;
+    long double f_sum = 0;
+    std::uint64_t f_mutations = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Rewinds the table to a snapshot: records and both ordered indexes
+  /// are rebuilt from the rows (membership rule: idle-Re index iff
+  /// in_r ∧ µ=IDLE, Fe index iff ¬in_r), aggregates are set verbatim.
+  void restore(const Snapshot& snap);
+
   /// Validates one outstanding handle against a fresh id-path lookup:
   /// empty when the handle still resolves to the same record, else a
   /// description (null handle, unknown session, or a desynced pointer —

@@ -68,6 +68,13 @@ class RouterLink {
   [[nodiscard]] const LinkSessionTable& table() const { return table_; }
   [[nodiscard]] bool stable() const { return table_.stable(); }
 
+  /// Rewinds the session table to a snapshot (model-checker restore
+  /// seam; the scratch buffer is transient between handler runs and
+  /// needs no capture).
+  void restore_table(const LinkSessionTable::Snapshot& snap) {
+    table_.restore(snap);
+  }
+
   // Packet handlers; `hop` is this link's hop index in p.session's path.
   // Each resolves p.session to a handle once, up front.
   void on_join(const Packet& p, std::int32_t hop);

@@ -72,6 +72,32 @@ class SourceNode {
   /// Source-side stability: no probe cycle running or pending.
   [[nodiscard]] bool stable() const { return mu_ == Mu::Idle && !upd_rcv_; }
 
+  /// The task's mutable scalars, as a copyable value (model-checker
+  /// snapshot seam; the ctor-fixed identity — session, access link,
+  /// capacity, emit hop — is re-supplied by whoever reconstructs the
+  /// task).
+  struct State {
+    double weight;
+    Rate ds;
+    Mu mu;
+    Rate lambda;
+    bool in_f;
+    bool upd_rcv;
+    bool bneck_rcv;
+  };
+  [[nodiscard]] State state() const {
+    return State{weight_, ds_, mu_, lambda_, in_f_, upd_rcv_, bneck_rcv_};
+  }
+  void restore_state(const State& st) {
+    weight_ = st.weight;
+    ds_ = st.ds;
+    mu_ = st.mu;
+    lambda_ = st.lambda;
+    in_f_ = st.in_f;
+    upd_rcv_ = st.upd_rcv;
+    bneck_rcv_ = st.bneck_rcv;
+  }
+
  private:
   void send_probe();
   void notify_and_certify();

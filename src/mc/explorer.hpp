@@ -1,0 +1,134 @@
+// Exhaustive explorer over delivery interleavings of one small scenario.
+//
+// explore() runs a depth-first search over the World's state graph
+// (mc/world.hpp): the deterministic parts of a run — API bursts,
+// intermediate quiescence validation — are chained, and wherever two or
+// more deliveries race at the same instant the explorer snapshots the
+// world and executes every choice.  Three reductions keep the search
+// finite and small, each sound on its own:
+//
+//   * visited set — states are keyed by World::fingerprint(); a state
+//     already explored is not re-expanded.  Per state the explorer
+//     memoizes the exact maxima of the completions below it
+//     (quiescence time, packets to terminal), so merged states still
+//     contribute exact bounds;
+//   * twin folding — byte-identical racing packets collapse to one
+//     representative inside World::candidates();
+//   * sleep sets (opt.dpor) — Godefroid's sleep-set DPOR over the
+//     independence relation of mc/world.hpp (deliveries to distinct
+//     nodes commute): after exploring candidate c, its Mazurkiewicz-
+//     equivalent reorderings under later independent candidates are
+//     pruned.  A visited state is re-entered only when the incoming
+//     sleep set is not a superset of a recorded one (the covering
+//     condition), so the reduction composes with state merging.
+//
+// Every quiescent state reached runs the full check::invariants
+// quiescent-phase validation (solver agreement, stability, feasibility),
+// and every transition runs the per-step audits — the fuzzer's property
+// set, applied to *every* schedule instead of a sampled one.
+//
+// The exact enumerated maxima (max_quiescence_time, max_total_packets)
+// replace the calibrated slack envelope of check/bounds.hpp on these
+// instances; DPOR-off runs are authoritative for the maxima, DPOR-on
+// runs are asserted to agree (trace-equivalent schedules have identical
+// timestamps and packet counts, so per-class invariance makes the
+// agreement exact — tests/mc_test.cpp pins it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "mc/world.hpp"
+
+namespace bneck::mc {
+
+struct McOptions {
+  /// Sleep-set partial-order reduction on/off.
+  bool dpor = true;
+  /// Visited-set state merging: skip re-expanding a fingerprint already
+  /// explored (with DPOR: unless the covering condition requires a
+  /// re-visit).  Off = raw schedule enumeration, the baseline the
+  /// reduction ratio is measured against — every fingerprint is still
+  /// *recorded*, so cross-validation and the quiescent-state summary
+  /// work in every mode.
+  bool state_merge = true;
+  /// Hunt the shortest violating schedule: re-explore visited states
+  /// reached at a strictly smaller depth and branch-and-bound on the
+  /// best witness.  Off by default (it defeats part of the state
+  /// merging); the fault-injection tests turn it on.
+  bool minimal_witness = false;
+  /// Record every visited fingerprint in McResult::visited (the
+  /// fuzzer cross-validation hook).
+  bool record_visited = false;
+  /// Exploration caps; exceeding one clears McResult::complete.
+  std::uint64_t max_states = 2'000'000;
+  std::uint64_t max_transitions = 50'000'000;
+  std::size_t max_depth = 100'000;
+  WorldOptions world;
+};
+
+struct McResult {
+  /// False when some schedule violates an invariant (or a cap was hit
+  /// while a violation was already recorded).
+  bool ok = true;
+  std::string message;  // first (minimal_witness: shortest) violation
+  /// The violating schedule: one World::describe line per branch-point
+  /// choice on the path (chained forced steps included).
+  std::vector<std::string> witness;
+  /// Deliveries fired from the initial state to the violation.
+  std::size_t witness_len = 0;
+
+  /// True iff the exploration finished without hitting a cap — only
+  /// then are the maxima exact and the verdict exhaustive.
+  bool complete = true;
+
+  std::uint64_t states = 0;        // states expanded (tree nodes; with
+                                   // state_merge ≈ distinct fingerprints)
+  std::uint64_t transitions = 0;   // deliveries fired
+  std::uint64_t branch_points = 0; // states with >= 2 explored choices
+  std::uint64_t executions = 0;    // schedules run to quiescence
+  std::uint64_t sleep_skips = 0;   // candidates pruned by sleep sets
+  std::uint64_t visited_skips = 0; // arrivals cut by the visited set
+
+  /// Exact maxima over every explored schedule (exhaustive when
+  /// `complete` and no violation).
+  TimeNs max_quiescence_time = -1;
+  std::uint64_t max_total_packets = 0;
+
+  /// Fingerprint summary of the reachable terminal (quiescent) states —
+  /// the DPOR on/off agreement basis: both modes must reach the same
+  /// set.
+  std::uint64_t quiescent_states = 0;
+  std::uint64_t quiescent_fp_xor = 0;
+
+  /// Populated when McOptions::record_visited: every state fingerprint
+  /// the exploration recorded (delivery windows and terminals).
+  std::unordered_set<std::uint64_t> visited;
+};
+
+/// Exhaustively explores every delivery interleaving of `sc`.
+[[nodiscard]] McResult explore(const check::Scenario& sc,
+                               const McOptions& opt = {});
+
+/// The production schedule, replayed through the World with a state
+/// fingerprint recorded at every delivery window and at the terminal —
+/// by construction a path in the model checker's state graph, so every
+/// fingerprint must be in the DPOR-off visited set (tests cross-validate
+/// exactly that), and the final stats must match check::run_scenario.
+struct CanonicalRun {
+  bool ok = true;
+  std::string message;
+  std::vector<std::uint64_t> fingerprints;
+  std::uint64_t transitions = 0;
+  std::uint64_t packets_sent = 0;
+  TimeNs quiesced_at = 0;
+  int quiescent_phases = 0;
+};
+
+[[nodiscard]] CanonicalRun canonical_run(const check::Scenario& sc,
+                                         const WorldOptions& opt = {});
+
+}  // namespace bneck::mc

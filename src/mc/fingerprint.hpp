@@ -1,0 +1,49 @@
+// 64-bit FNV-1a state fingerprinting for the explicit-state model
+// checker (src/mc/world.hpp builds World fingerprints with it).
+//
+// The hasher feeds fixed-width little-endian encodings of each field, so
+// a fingerprint is a pure function of the *semantic* values hashed — it
+// never touches struct padding or in-memory layout, which is what makes
+// two states reached along different interleavings hash equal exactly
+// when their canonicalized state (world.cpp documents the
+// canonicalization) is equal.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace bneck::mc {
+
+class Fnv64 {
+ public:
+  void u8(std::uint8_t v) {
+    h_ ^= v;
+    h_ *= kPrime;
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// Hashes the bit pattern of a double (all values the simulation
+  /// produces are totally determined, so bit equality is the right
+  /// notion of "same rate").
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h_ = kOffset;
+};
+
+}  // namespace bneck::mc

@@ -110,6 +110,26 @@ class Event {
 
   [[nodiscard]] bool is_delivery() const { return kind_ == Kind::Delivery; }
 
+  /// Deep copy, for the model checker's snapshot/restore seam
+  /// (src/mc/): a Delivery is a plain byte copy, a Callback copies the
+  /// std::function (which may allocate — acceptable off the hot path).
+  [[nodiscard]] Event clone() const {
+    if (kind_ == Kind::Delivery) return Event(delivery_);
+    return Event(fn_);
+  }
+
+  /// Raw payload bytes of a Delivery event (for state fingerprinting and
+  /// candidate enumeration).  Requires is_delivery().
+  [[nodiscard]] const void* delivery_payload() const {
+    return delivery_.bytes;
+  }
+
+  /// The handler a Delivery event is addressed to.  Requires
+  /// is_delivery().
+  [[nodiscard]] DeliveryHandler* delivery_handler() const {
+    return delivery_.handler;
+  }
+
  private:
   enum class Kind : unsigned char { Callback, Delivery };
 
@@ -119,6 +139,10 @@ class Event {
   };
   static_assert(sizeof(Delivery) == 8 + kInlinePayloadBytes,
                 "payload buffer must start right after the handler");
+
+  explicit Event(const Delivery& d) : kind_(Kind::Delivery) {
+    delivery_ = d;
+  }
 
   void adopt(Event&& other) noexcept {
     kind_ = other.kind_;

@@ -109,6 +109,23 @@ class HeapQueue {
     return keys_.empty() ? kTimeNever : keys_.front().t;
   }
 
+  /// Visits every pending entry as fn(t, seq, const Event&), in
+  /// unspecified order (heap order here).  Snapshot hook for the model
+  /// checker — callers needing (time, seq) order sort the result.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      fn(keys_[i].t, keys_[i].seq, evs_[i]);
+    }
+  }
+
+  /// Discards every pending entry (restore hook — the caller re-pushes
+  /// a snapshot afterwards).
+  void clear() {
+    keys_.clear();
+    evs_.clear();
+  }
+
  private:
   struct Key {
     TimeNs t;

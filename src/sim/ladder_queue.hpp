@@ -197,6 +197,46 @@ class LadderQueue {
     return size_ == 0 ? kTimeNever : bottom_[bot_head_].t;
   }
 
+  /// Visits every pending entry as fn(t, seq, const Event&), in
+  /// unspecified order (structure order here: bottom, rung buckets,
+  /// top).  Snapshot hook for the model checker — callers needing
+  /// (time, seq) order sort the result.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = bot_head_; i < bottom_.size(); ++i) {
+      fn(bottom_[i].t, bottom_[i].seq, bottom_[i].ev);
+    }
+    for (std::size_t r = 0; r < nrungs_; ++r) {
+      for (const std::vector<Entry>& bucket : rungs_[r].buckets) {
+        for (const Entry& e : bucket) fn(e.t, e.seq, e.ev);
+      }
+    }
+    for (const Entry& e : top_) fn(e.t, e.seq, e.ev);
+  }
+
+  /// Discards every pending entry and resets the ladder to its
+  /// freshly-constructed state (restore hook — the caller re-pushes a
+  /// snapshot afterwards, in (time, seq) order so in-bucket insertion
+  /// order keeps matching the determinism contract).
+  void clear() {
+    bottom_.clear();
+    bot_head_ = 0;
+    bot_limit_ = 0;
+    for (Rung& r : rungs_) {
+      for (std::vector<Entry>& bucket : r.buckets) bucket.clear();
+      r.start = 0;
+      r.width = 1;
+      r.end = 0;
+      r.cur = 0;
+      r.count = 0;
+    }
+    nrungs_ = 0;
+    top_.clear();
+    top_min_ = kTimeNever;
+    top_max_ = -1;
+    size_ = 0;
+  }
+
  private:
   struct Entry {
     TimeNs t;

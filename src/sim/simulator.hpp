@@ -35,8 +35,10 @@
 // protocol bug into an exception instead of a hang.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "base/expect.hpp"
 #include "base/time.hpp"
@@ -45,6 +47,34 @@
 #include "sim/ladder_queue.hpp"
 
 namespace bneck::sim {
+
+/// A resumable copy of a simulator's state: the clock/counter scalars
+/// plus every pending queue entry serialized as a (time, seq, payload)
+/// triple, sorted by (time, seq).  Produced by
+/// BasicSimulator::snapshot(), consumed by restore() — the model
+/// checker's seam for exploring alternative delivery interleavings
+/// (src/mc/).  Entries hold cloned Events, so a snapshot stays valid
+/// across any number of restores.
+struct SimSnapshot {
+  struct Entry {
+    TimeNs t;
+    std::uint64_t seq;
+    Event ev;
+    Entry(TimeNs t_, std::uint64_t seq_, Event&& ev_)
+        : t(t_), seq(seq_), ev(std::move(ev_)) {}
+    Entry(Entry&&) noexcept = default;
+    Entry& operator=(Entry&&) noexcept = default;
+  };
+
+  TimeNs now = 0;
+  TimeNs last_event_time = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t processed = 0;
+  std::vector<Entry> entries;  // sorted by (t, seq)
+
+  /// Sentinel for restore()'s skip_seq: restore everything.
+  static constexpr std::uint64_t kKeepAll = UINT64_MAX;
+};
 
 template <class Queue>
 class BasicSimulator {
@@ -137,6 +167,71 @@ class BasicSimulator {
   /// Safety bound on total processed events (default 4e9).
   void set_max_events(std::uint64_t m) { max_events_ = m; }
 
+  /// Visits every pending queue entry as fn(t, seq, const Event&), in
+  /// unspecified order.  Model-checker hook for enumerating same-window
+  /// delivery candidates without consuming them.
+  template <class Fn>
+  void for_each_pending(Fn&& fn) const {
+    queue_.for_each(std::forward<Fn>(fn));
+  }
+
+  /// Captures the complete simulator state — clock, counters and every
+  /// pending event — as a restorable value.  Entries are cloned and
+  /// sorted by (time, seq).
+  [[nodiscard]] SimSnapshot snapshot() const {
+    SimSnapshot s;
+    s.now = now_;
+    s.last_event_time = last_event_time_;
+    s.seq = seq_;
+    s.processed = processed_;
+    s.entries.reserve(queue_.size());
+    queue_.for_each([&s](TimeNs t, std::uint64_t seq, const Event& ev) {
+      s.entries.emplace_back(t, seq, ev.clone());
+    });
+    std::sort(s.entries.begin(), s.entries.end(),
+              [](const SimSnapshot::Entry& a, const SimSnapshot::Entry& b) {
+                return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+              });
+    return s;
+  }
+
+  /// Rewinds the simulator to a snapshot: the queue is rebuilt from the
+  /// snapshot's entries (cloned — the snapshot stays reusable) with
+  /// their ORIGINAL sequence numbers, so a restored run replays the
+  /// exact (time, seq) fire order it would have had.  An entry whose seq
+  /// equals skip_seq is left out — the model checker uses this to pull
+  /// one chosen candidate out of the queue and fire it via fire_now().
+  /// Re-pushing in (time, seq) order keeps the ladder queue's in-bucket
+  /// insertion-order contract intact.
+  void restore(const SimSnapshot& snap,
+               std::uint64_t skip_seq = SimSnapshot::kKeepAll) {
+    queue_.clear();
+    now_ = snap.now;
+    last_event_time_ = snap.last_event_time;
+    seq_ = snap.seq;
+    processed_ = snap.processed;
+    for (const SimSnapshot::Entry& e : snap.entries) {
+      if (e.seq == skip_seq) continue;
+      queue_.push(e.t, e.seq, e.ev.clone());
+    }
+    queue_.prepare();
+  }
+
+  /// Fires one event at absolute time t as if it had just been popped:
+  /// advances the clock, charges the event budget, runs the handler and
+  /// the queue's post-fire housekeeping.  The model checker pairs this
+  /// with restore(snap, chosen_seq) to execute a candidate other than
+  /// the (time, seq) minimum.  Requires t >= now().
+  void fire_now(TimeNs t, Event ev) {
+    BNECK_EXPECT(t >= now_, "cannot fire into the past");
+    now_ = t;
+    last_event_time_ = t;
+    ++processed_;
+    check_budget();
+    ev.fire();
+    queue_.prepare();
+  }
+
  private:
   void push(TimeNs t, Event ev) {
     BNECK_EXPECT(t >= now_, "cannot schedule into the past");
@@ -186,6 +281,10 @@ class FifoChannel {
 
   [[nodiscard]] TimeNs busy_until() const { return busy_until_; }
   void reset() { busy_until_ = 0; }
+
+  /// Rewinds the busy horizon to a snapshotted value (model-checker
+  /// restore seam — never used by the forward-running simulation).
+  void restore_busy_until(TimeNs t) { busy_until_ = t; }
 
  private:
   TimeNs busy_until_ = 0;

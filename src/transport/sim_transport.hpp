@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/expect.hpp"
 #include "base/rng.hpp"
 #include "base/slab.hpp"
 #include "net/network.hpp"
@@ -73,6 +74,31 @@ class SimTransport final
   void local(const core::Packet& p) override;
   [[nodiscard]] TimeNs now() const override { return sim_.now(); }
   [[nodiscard]] std::uint64_t retransmissions() const override;
+
+  /// Busy horizons of every per-directed-link FIFO channel, in link-id
+  /// order (model-checker snapshot seam).  Only meaningful on loss-free
+  /// non-ARQ configurations, where the FIFO clocks are the transport's
+  /// whole mutable state.
+  [[nodiscard]] std::vector<TimeNs> channel_busy_snapshot() const {
+    std::vector<TimeNs> busy;
+    busy.reserve(channels_.size());
+    for (const sim::FifoChannel& c : channels_) busy.push_back(c.busy_until());
+    return busy;
+  }
+  void restore_channel_busy(const std::vector<TimeNs>& busy) {
+    BNECK_EXPECT(busy.size() == channels_.size(),
+                 "channel snapshot size mismatch");
+    for (std::size_t i = 0; i < busy.size(); ++i) {
+      channels_[i].restore_busy_until(busy[i]);
+    }
+  }
+
+  /// True when this backend runs the paper's reliable loss-free wire —
+  /// the only configuration the model checker can snapshot (ARQ channel
+  /// state is not captured).
+  [[nodiscard]] bool lossless() const {
+    return !cfg_.reliable_links && cfg_.loss_probability == 0.0;
+  }
 
  private:
   ArqChannel& arq_channel_at(LinkId physical);

@@ -363,6 +363,100 @@ TEST(QueueAB, InterleavedBurstsAndStragglersMatchStableSort) {
   }
 }
 
+// ---- snapshot/restore round-trips (the model checker's seam) ----
+
+template <class Sim>
+std::vector<std::vector<std::pair<TimeNs, int>>> replay_snapshot_mid_drain(
+    std::uint64_t seed) {
+  // Handlers are deterministic functions of their id (no rng draws at
+  // fire time): a restored run re-executes the same closures, so any
+  // fire-time draw would desync the replays by construction.
+  std::mt19937_64 rng(seed);
+  Sim s;
+  std::vector<std::pair<TimeNs, int>> fired;
+  std::function<void(int)> fire = [&](int id) {
+    fired.emplace_back(s.now(), id);
+    if (id < 10000 && id % 5 == 0) {
+      const TimeNs delay = static_cast<TimeNs>(id % 3 == 0 ? 0 : id % 37);
+      s.schedule_in(delay, [&fire, id] { fire(10000 + id); });
+    }
+  };
+  for (int i = 0; i < 400; ++i) {
+    const TimeNs t = static_cast<TimeNs>(rng() % 1000);
+    s.schedule_at(t, [&fire, i] { fire(i); });
+  }
+  for (int i = 400; i < 700; ++i) {
+    s.schedule_at(500, [&fire, i] { fire(i); });  // same-instant burst
+  }
+  // Drain partway — deliberately into the middle of the t=500 burst —
+  // then snapshot with the queue mid-flight.
+  for (int i = 0; i < 550 && !s.idle(); ++i) s.step();
+  const SimSnapshot snap = s.snapshot();
+  std::vector<std::vector<std::pair<TimeNs, int>>> tails;
+  fired.clear();
+  s.run_until_idle();
+  tails.push_back(fired);
+  // Rewind and finish twice more: a snapshot clones its entries, so it
+  // stays valid across restores, and every replay must fire the exact
+  // same (time, id) sequence.
+  for (int round = 0; round < 2; ++round) {
+    fired.clear();
+    s.restore(snap);
+    s.run_until_idle();
+    tails.push_back(fired);
+  }
+  return tails;
+}
+
+TEST(QueueAB, SnapshotMidDrainRestoresIdenticalFireOrderOnBothQueues) {
+  for (const std::uint64_t seed : {7ULL, 77ULL, 777ULL}) {
+    const auto heap = replay_snapshot_mid_drain<HeapSimulator>(seed);
+    const auto ladder = replay_snapshot_mid_drain<Simulator>(seed);
+    ASSERT_FALSE(heap[0].empty()) << "seed " << seed;
+    // Every restore replays the original completion...
+    EXPECT_EQ(heap[1], heap[0]) << "heap restore diverged, seed " << seed;
+    EXPECT_EQ(heap[2], heap[0]) << "heap re-restore diverged, seed " << seed;
+    EXPECT_EQ(ladder[1], ladder[0]) << "ladder restore diverged, seed " << seed;
+    EXPECT_EQ(ladder[2], ladder[0])
+        << "ladder re-restore diverged, seed " << seed;
+    // ...and both queue policies agree on what that completion is.
+    EXPECT_EQ(heap[0], ladder[0]) << "heap vs ladder diverged, seed " << seed;
+  }
+}
+
+TEST(QueueAB, RestoreSkipSeqPlusFireNowReplaysTheChosenCandidateFirst) {
+  // The model checker's branch step: restore(snap, seq) pulls one
+  // pending entry out of the rebuilt queue and fire_now executes it
+  // ahead of its (time, seq) turn; the remaining drain must equal the
+  // original drain minus that entry, on both queue policies.
+  const auto run = [](auto sim) {
+    std::vector<int> fired;
+    for (int i = 0; i < 8; ++i) {
+      sim.schedule_at(10 + (i % 2), [&fired, i] { fired.push_back(i); });
+    }
+    const SimSnapshot snap = sim.snapshot();
+    // Baseline completion.
+    sim.run_until_idle();
+    const std::vector<int> baseline = fired;
+    // Pick the LAST same-instant candidate at t=10 (ids 0,2,4,6 live
+    // there; choose id 6, the highest seq of the first window).
+    const auto& chosen = snap.entries[3];
+    fired.clear();
+    sim.restore(snap, chosen.seq);
+    sim.fire_now(chosen.t, chosen.ev.clone());
+    sim.run_until_idle();
+    return std::make_tuple(baseline, fired, chosen.t);
+  };
+  const auto [hb, hf, ht] = run(HeapSimulator{});
+  const auto [lb, lf, lt] = run(Simulator{});
+  EXPECT_EQ(hb, (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+  EXPECT_EQ(hf, (std::vector<int>{6, 0, 2, 4, 1, 3, 5, 7}));
+  EXPECT_EQ(hb, lb);
+  EXPECT_EQ(hf, lf);
+  EXPECT_EQ(ht, 10);
+  EXPECT_EQ(lt, 10);
+}
+
 // ---- typed delivery events (sim/event.hpp) ----
 
 struct IntPayload {

@@ -54,6 +54,9 @@ void usage(const char* argv0) {
       "  --shrink              minimize failures to a minimal reproducer\n"
       "  --max-shrink-runs N   candidate re-runs per shrink (default 4000)\n"
       "  --replay \"<spec>\"     run one scenario spec (from the shrinker)\n"
+      "  --expect-fail         with --replay: exit 0 only when the spec\n"
+      "                        still reproduces a failure (regression\n"
+      "                        pinning; a now-passing replay exits 1)\n"
       "  --inject-fault NAME   arm a documented protocol mutation\n"
       "                        (none | single-kick) to validate the harness\n"
       "  --audit-stride N      audit link tables every N events (default 256)\n"
@@ -75,6 +78,7 @@ struct Args {
   bool do_shrink = false;
   std::size_t max_shrink_runs = 4000;
   std::string replay;
+  bool expect_fail = false;
   bool verbose = false;
   bneck::check::CheckOptions check;
 };
@@ -154,6 +158,8 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = next();
       if (v == nullptr) return false;
       a->replay = v;
+    } else if (std::strcmp(argv[i], "--expect-fail") == 0) {
+      a->expect_fail = true;
     } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
       const char* v = next();
       if (v == nullptr) return false;
@@ -328,6 +334,20 @@ int run(const Args& args) {
   if (!args.replay.empty()) {
     const auto scenario = bneck::check::parse_spec(args.replay);
     const auto result = bneck::check::run_scenario(scenario, args.check);
+    if (args.expect_fail) {
+      // Regression pinning: the spec documents a known failure, so a
+      // replay that no longer reproduces it is itself the failure.
+      if (!result.ok) {
+        std::printf("[ ok ] replay still fails as expected: %s\n",
+                    result.message.c_str());
+        return 0;
+      }
+      std::printf("[FAIL] replay expected to fail but passed: %d quiescent "
+                  "phase(s), %" PRIu64 " events, %" PRIu64 " packets\n",
+                  result.quiescent_phases, result.events_processed,
+                  result.packets_sent);
+      return 1;
+    }
     if (result.ok) {
       std::printf("[ ok ] replay: %d quiescent phase(s), %" PRIu64
                   " events, %" PRIu64 " packets\n",
