@@ -8,6 +8,10 @@
 //   --threads <n> worker threads for independent sweep points (0 = all
 //                 cores; also settable via $BNECK_THREADS).  Results are
 //                 byte-identical at any thread count.
+//   --shards <k>  run ONE simulation on the sharded conservative engine
+//                 with k worker shards (0 = classic single-thread
+//                 engine).  Only exp2_dynamics honors it today; output
+//                 is byte-identical at any shard count.
 // plus bench-specific flags documented in each binary's header comment.
 #pragma once
 
@@ -23,6 +27,7 @@ struct Args {
   std::uint64_t seed = 1;
   bool full = false;
   std::size_t threads = 0;  // 0 = workload::default_parallelism()
+  std::int32_t shards = 0;  // 0 = single-thread engine
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -34,10 +39,14 @@ struct Args {
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         a.threads = static_cast<std::size_t>(
             std::strtoull(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+        a.shards = static_cast<std::int32_t>(std::strtol(argv[++i], nullptr, 10));
       } else if (std::strcmp(argv[i], "--full") == 0) {
         a.full = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf("flags: --scale <f> --seed <n> --threads <n> --full\n");
+        std::printf(
+            "flags: --scale <f> --seed <n> --threads <n> --shards <k> "
+            "--full\n");
         std::exit(0);
       }
     }

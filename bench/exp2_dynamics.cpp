@@ -7,10 +7,19 @@
 // between (55/35/40/60/55 ms in the paper).  Default here is 1/10 of the
 // paper's population (10k/2k join phases); --scale adjusts.
 //
+// --shards <k> runs the same workload on the sharded conservative
+// parallel engine (core::ShardedBneck) with k worker shards.  The
+// figure output on stdout is byte-identical to the classic single-thread
+// path at any shard count (the determinism contract,
+// docs/architecture.md); engine diagnostics go to stderr so A/B
+// comparisons can diff stdout directly.
+//
 // Expected shape: a burst of Join/Probe/Response traffic at each phase
 // start that dies out completely (quiescence) before the next phase;
 // phase durations of the same order regardless of the churn type.
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "stats/table.hpp"
@@ -19,56 +28,17 @@
 
 using namespace bneck;
 
-int main(int argc, char** argv) {
-  auto args = benchutil::Args::parse(argc, argv);
-  if (!args.full && args.scale == 1.0) args.scale = 0.1;  // default: 1/10 paper
-  benchutil::banner("Figure 6", "per-type packet traffic across five churn phases");
+namespace {
 
-  const std::int32_t base = args.full ? 100000 : args.scaled(100000, 50);
-  const std::int32_t churn = base / 5;
+struct Phase {
+  const char* label;
+  workload::PhaseSpec spec;
+};
 
-  auto params = topo::medium_params();
-  params.hosts = base + 3 * churn + 64;  // enough distinct source hosts
-  Rng rng(args.seed);
-  const net::Network network = topo::make_transit_stub(params, rng);
-  std::printf("medium network: %d routers, %d hosts; phases sized %d/%d\n\n",
-              network.router_count(), network.host_count(), base, churn);
-
-  workload::DynamicsRunner runner(network, rng, {}, milliseconds(5));
-
-  struct Phase {
-    const char* label;
-    workload::PhaseSpec spec;
-  };
-  std::vector<Phase> phases;
-  {
-    workload::PhaseSpec p;
-    p.joins = base;
-    phases.push_back({"1: join", p});
-  }
-  {
-    workload::PhaseSpec p;
-    p.leaves = churn;
-    phases.push_back({"2: leave", p});
-  }
-  {
-    workload::PhaseSpec p;
-    p.changes = churn;
-    phases.push_back({"3: change", p});
-  }
-  {
-    workload::PhaseSpec p;
-    p.joins = churn;
-    phases.push_back({"4: join", p});
-  }
-  {
-    workload::PhaseSpec p;
-    p.joins = churn;
-    p.leaves = churn;
-    p.changes = churn;
-    phases.push_back({"5: mixed", p});
-  }
-
+/// Shared figure loop: phase table + per-bin series, identical wording
+/// for both engines (Runner = DynamicsRunner | ShardedDynamicsRunner).
+template <class Runner>
+void run_phases_and_report(Runner& runner, const std::vector<Phase>& phases) {
   stats::Table summary({"phase", "active after", "time-to-quiescence",
                         "packets", "max rel err"});
   for (const auto& ph : phases) {
@@ -104,5 +74,77 @@ int main(int argc, char** argv) {
       "\nShape check vs paper Fig. 6: bursts at each phase start that\n"
       "drain to zero (quiescence) before the next phase; omitted rows are\n"
       "all-zero intervals — B-Neck sends nothing between phases.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = benchutil::Args::parse(argc, argv);
+  if (!args.full && args.scale == 1.0) args.scale = 0.1;  // default: 1/10 paper
+  benchutil::banner("Figure 6", "per-type packet traffic across five churn phases");
+
+  const std::int32_t base = args.full ? 100000 : args.scaled(100000, 50);
+  const std::int32_t churn = base / 5;
+
+  auto params = topo::medium_params();
+  params.hosts = base + 3 * churn + 64;  // enough distinct source hosts
+  Rng rng(args.seed);
+  const net::Network network = topo::make_transit_stub(params, rng);
+  std::printf("medium network: %d routers, %d hosts; phases sized %d/%d\n\n",
+              network.router_count(), network.host_count(), base, churn);
+
+  std::vector<Phase> phases;
+  {
+    workload::PhaseSpec p;
+    p.joins = base;
+    phases.push_back({"1: join", p});
+  }
+  {
+    workload::PhaseSpec p;
+    p.leaves = churn;
+    phases.push_back({"2: leave", p});
+  }
+  {
+    workload::PhaseSpec p;
+    p.changes = churn;
+    phases.push_back({"3: change", p});
+  }
+  {
+    workload::PhaseSpec p;
+    p.joins = churn;
+    phases.push_back({"4: join", p});
+  }
+  {
+    workload::PhaseSpec p;
+    p.joins = churn;
+    p.leaves = churn;
+    p.changes = churn;
+    phases.push_back({"5: mixed", p});
+  }
+
+  if (args.shards > 0) {
+    core::ShardedConfig scfg;
+    scfg.shards = args.shards;
+    workload::ShardedDynamicsRunner runner(network, rng, scfg,
+                                           milliseconds(5));
+    const auto& part = runner.engine().partition();
+    std::fprintf(stderr,
+                 "sharded engine: %d shards, lookahead %lld ns, %zu cut "
+                 "links\n",
+                 runner.engine().shard_count(),
+                 static_cast<long long>(part.lookahead),
+                 part.cut_links.size());
+    run_phases_and_report(runner, phases);
+    std::fprintf(stderr,
+                 "sharded engine: %llu barrier windows, %llu cross-shard "
+                 "packets\n",
+                 static_cast<unsigned long long>(
+                     runner.engine().windows_run()),
+                 static_cast<unsigned long long>(
+                     runner.engine().cross_shard_packets()));
+  } else {
+    workload::DynamicsRunner runner(network, rng, {}, milliseconds(5));
+    run_phases_and_report(runner, phases);
+  }
   return 0;
 }

@@ -31,6 +31,7 @@ Baselines recorded at a different scale/seed are rejected outright.
 """
 import argparse
 import datetime
+import hashlib
 import json
 import os
 import platform
@@ -262,6 +263,25 @@ def main():
                          "use the same N when recording a baseline and when "
                          "comparing against it on a host with bursty "
                          "background load)")
+    ap.add_argument("--shard-ab", metavar="K1,K2,...",
+                    help="after the figure benches, run exp2_dynamics at "
+                         "these shard counts plus the classic single-thread "
+                         "engine (interleaved --wall-repeats rounds, fastest "
+                         "wall kept) and record walls + stdout digests under "
+                         "report['shard_ab']")
+    ap.add_argument("--shard-ab-args", default="--full",
+                    help="workload flags for the shard A/B runs (default "
+                         "'--full': the paper-scale 100k-session exp2)")
+    ap.add_argument("--shard-ab-repeats", type=int, default=1,
+                    help="interleaved rounds for the shard A/B runs "
+                         "(decoupled from --wall-repeats: the A/B workload "
+                         "is minutes per run, not seconds)")
+    ap.add_argument("--big-scale", type=float,
+                    help="record one large exp2_dynamics run at this scale "
+                         "(10 = 1.4M session events) under report['big_run']")
+    ap.add_argument("--big-shards", type=int, default=4,
+                    help="shard count for the --big-scale run (0 = classic "
+                         "single-thread engine; default 4)")
     ap.add_argument("--self-test", action="store_true",
                     help="unit-test the --compare failure paths and exit")
     args = ap.parse_args()
@@ -279,6 +299,14 @@ def main():
             "system": platform.system(),
             "release": platform.release(),
             "cpus": os.cpu_count(),
+            # Workers actually usable by this process (cgroup/affinity
+            # aware), and the $BNECK_THREADS override the benches saw:
+            # the context a reader needs to judge any parallel-speedup
+            # claim in this report.
+            "effective_cpus": (len(os.sched_getaffinity(0))
+                               if hasattr(os, "sched_getaffinity")
+                               else os.cpu_count()),
+            "bneck_threads": os.environ.get("BNECK_THREADS"),
         },
         "config": {
             "scale": args.scale,
@@ -340,6 +368,90 @@ def main():
             print(f"[FAIL] {name}: {result['error']}", file=sys.stderr)
         else:
             print(f"[ ok ] {name}: {len(result.get('benchmarks', []))} cases")
+
+    # Shard A/B: the same exp2 workload through the classic engine and
+    # the sharded engine at each requested shard count, interleaved
+    # rounds like the figure benches.  The record keeps a stdout digest
+    # per variant so a reader can see exactly which shard counts
+    # reproduced the classic output byte for byte on this workload
+    # (one shard always must; split runs may differ only by
+    # same-instant cross-shard tie order — docs/architecture.md).
+    # Judge any speedup against host.effective_cpus: on a single-core
+    # host the sharded runs are expected to be *slower* (barrier and
+    # thread overhead with no parallel hardware under it).
+    exp2 = os.path.join(args.bench_dir, "exp2_dynamics")
+    if args.shard_ab:
+        counts = [int(k) for k in args.shard_ab.split(",")]
+        workload = args.shard_ab_args.split() + ["--seed", str(args.seed)]
+        variants = [("classic", workload)] + [
+            (f"shards={k}", workload + ["--shards", str(k)]) for k in counts]
+        best_ab = {}
+        ab_rounds = max(1, args.shard_ab_repeats)
+        for rnd in range(ab_rounds):
+            for label, flags in variants:
+                if rnd == 0:
+                    print(f"[run ] exp2_dynamics [{label}] "
+                          f"{' '.join(flags)}" +
+                          (f" ({ab_rounds} rounds)" if ab_rounds > 1 else ""),
+                          flush=True)
+                start = time.monotonic()
+                proc = subprocess.run([exp2] + flags, capture_output=True,
+                                      text=True, timeout=args.timeout)
+                wall = round(time.monotonic() - start, 3)
+                if proc.returncode != 0:
+                    failures += 1
+                    print(f"[FAIL] shard A/B [{label}]: exit "
+                          f"{proc.returncode}", file=sys.stderr)
+                prev = best_ab.get(label)
+                if prev is None or wall < prev["wall_seconds"]:
+                    best_ab[label] = {
+                        "label": label,
+                        "cmd": [exp2] + flags,
+                        "exit_code": proc.returncode,
+                        "wall_seconds": wall,
+                        "stdout_sha256":
+                            hashlib.sha256(proc.stdout.encode()).hexdigest(),
+                        "stderr": proc.stderr,
+                    }
+        classic = best_ab.get("classic", {})
+        for label, entry in best_ab.items():
+            entry["identical_to_classic"] = (
+                entry["stdout_sha256"] == classic.get("stdout_sha256"))
+            speed = (classic.get("wall_seconds", 0) / entry["wall_seconds"]
+                     if entry["wall_seconds"] > 0 else float("inf"))
+            print(f"[ ok ] shard A/B [{label}]: {entry['wall_seconds']}s "
+                  f"({speed:.2f}x vs classic, output "
+                  f"{'identical' if entry['identical_to_classic'] else 'differs'})")
+        report["shard_ab"] = {
+            "workload": workload,
+            "rounds": ab_rounds,
+            "runs": [best_ab[label] for label, _ in variants
+                     if label in best_ab],
+        }
+
+    # One large run — the scaling headline.  Recorded separately from
+    # the figure benches so --compare against older baselines is
+    # unaffected.
+    if args.big_scale is not None:
+        flags = ["--scale", str(args.big_scale), "--seed", str(args.seed)]
+        if args.big_shards > 0:
+            flags += ["--shards", str(args.big_shards)]
+        print(f"[run ] exp2_dynamics [big] {' '.join(flags)}", flush=True)
+        start = time.monotonic()
+        proc = subprocess.run([exp2] + flags, capture_output=True, text=True,
+                              timeout=args.timeout)
+        wall = round(time.monotonic() - start, 3)
+        if proc.returncode != 0:
+            failures += 1
+            print(f"[FAIL] big run: exit {proc.returncode}", file=sys.stderr)
+        report["big_run"] = {
+            "cmd": [exp2] + flags,
+            "exit_code": proc.returncode,
+            "wall_seconds": wall,
+            "stdout": proc.stdout,
+            "stderr": proc.stderr,
+        }
+        print(f"[ ok ] big run: {wall}s")
 
     with open(args.output, "w") as f:
         json.dump(report, f, indent=2)

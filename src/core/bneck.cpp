@@ -110,6 +110,16 @@ void BneckProtocol::join(SessionId s, net::Path path, Rate demand,
   rt.source->api_join(demand);
 }
 
+void BneckProtocol::register_remote(SessionId s, net::Path path) {
+  BNECK_EXPECT(path.links.size() >= 2, "path needs access links at both ends");
+  const std::int32_t slot = register_session(s);
+  SessionRt& rt = sessions_[static_cast<std::size_t>(slot)];
+  rt.path = std::move(path);
+  // No source, no active count: deliver() routes RouterLink/destination
+  // hops through the path and drops source-hop packets, the tombstone
+  // behavior leave() relies on already.
+}
+
 std::unique_ptr<SourceNode> BneckProtocol::make_source(const SessionRt& rt) {
   if (cfg_.shared_access_links) {
     // Extension: the access link is arbitrated by a RouterLink at the

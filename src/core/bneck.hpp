@@ -146,6 +146,16 @@ class BneckProtocol final : public Transport,
   void change(SessionId s, Rate demand);
   void change(SessionId s, Rate demand, double weight);
 
+  /// Sharded-engine seam (core/sharded_bneck.hpp): registers the routing
+  /// state of a session whose source host lives on ANOTHER shard.  This
+  /// shard's protocol instance then routes the session's in-flight
+  /// packets through its local RouterLinks exactly as for an active
+  /// session, but owns no SourceNode, no demand bookkeeping and no
+  /// API.Rate delivery — behaviorally a pre-made tombstone, identical to
+  /// a session that joined here and left.  join/leave/change for the
+  /// session stay with its home shard.
+  void register_remote(SessionId s, net::Path path);
+
   /// API.Rate(s, λ) is delivered through this callback.
   using RateCallback = std::function<void(SessionId, Rate, TimeNs)>;
   void set_rate_callback(RateCallback cb) { rate_cb_ = std::move(cb); }

@@ -1,0 +1,180 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/expect.hpp"
+
+namespace bneck::net {
+
+namespace {
+
+/// Plain union-find with path halving; union by size with smallest-root
+/// tie-breaking keeps the structure deterministic.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::int32_t find(std::int32_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      auto& p = parent_[static_cast<std::size_t>(x)];
+      p = parent_[static_cast<std::size_t>(p)];
+      x = p;
+    }
+    return x;
+  }
+
+  [[nodiscard]] std::int32_t size(std::int32_t root) {
+    return size_[static_cast<std::size_t>(find(root))];
+  }
+
+  /// Merges the components of a and b; the smaller root id survives.
+  void unite(std::int32_t a, std::int32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+  }
+
+ private:
+  std::vector<std::int32_t> parent_;
+  std::vector<std::int32_t> size_;
+};
+
+}  // namespace
+
+std::vector<std::int32_t> NetPartition::routers_per_shard(
+    const Network& net) const {
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(shard_count), 0);
+  for (std::int32_t n = 0; n < net.node_count(); ++n) {
+    if (net.kind(NodeId{n}) == NodeKind::Router) {
+      ++counts[static_cast<std::size_t>(node_shard[static_cast<std::size_t>(n)])];
+    }
+  }
+  return counts;
+}
+
+NetPartition partition_network(const Network& net,
+                               const PartitionConfig& cfg) {
+  BNECK_EXPECT(cfg.shards >= 1, "shard count must be positive");
+  BNECK_EXPECT(cfg.balance_slack >= 1.0, "balance_slack below 1");
+  const std::int32_t routers = net.router_count();
+  const std::int32_t shards =
+      std::max<std::int32_t>(1, std::min(cfg.shards, routers));
+
+  NetPartition out;
+  out.shard_count = shards;
+  out.node_shard.assign(static_cast<std::size_t>(net.node_count()), 0);
+  if (shards == 1) return out;
+
+  // Component growth cap: ceil(slack * routers / shards), at least 1.
+  const auto cap = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(cfg.balance_slack *
+                                       static_cast<double>(routers) /
+                                       static_cast<double>(shards) +
+                                   0.999999));
+
+  // Router-router links, one per physical pair (the twin has the same
+  // delay), in ascending (prop_delay, link id) order.
+  std::vector<LinkId> edges;
+  for (std::int32_t e = 0; e < net.link_count(); ++e) {
+    const Link& l = net.link(LinkId{e});
+    if (net.is_host(l.src) || net.is_host(l.dst)) continue;
+    if (l.reverse.value() < e) continue;  // keep the lower-id direction
+    edges.push_back(LinkId{e});
+  }
+  std::sort(edges.begin(), edges.end(), [&net](LinkId a, LinkId b) {
+    const TimeNs da = net.link(a).prop_delay;
+    const TimeNs db = net.link(b).prop_delay;
+    return da != db ? da < db : a < b;
+  });
+
+  // Single-linkage merge pass: absorb the fastest edges inside components
+  // so the eventual cut only contains slow ones.  Stop-at-cap rather than
+  // stop-at-K: a capped merge is skipped, not retried, which bounds every
+  // component and still leaves the fast edges interior wherever possible.
+  UnionFind uf(static_cast<std::size_t>(net.node_count()));
+  for (const LinkId e : edges) {
+    const Link& l = net.link(e);
+    const std::int32_t a = uf.find(l.src.value());
+    const std::int32_t b = uf.find(l.dst.value());
+    if (a == b) continue;
+    if (uf.size(a) + uf.size(b) > cap) continue;
+    uf.unite(a, b);
+  }
+
+  // Collect components in ascending root id (deterministic), then
+  // bin-pack by descending size (ascending root id tie-break) onto the
+  // least-loaded shard (lowest index tie-break).
+  std::vector<std::int32_t> comp_of(static_cast<std::size_t>(net.node_count()),
+                                    -1);
+  struct Component {
+    std::int32_t id;
+    std::int32_t routers;
+  };
+  std::vector<Component> comps;
+  for (std::int32_t n = 0; n < net.node_count(); ++n) {
+    if (net.is_host(NodeId{n})) continue;
+    const std::int32_t root = uf.find(n);
+    if (comp_of[static_cast<std::size_t>(root)] < 0) {
+      comp_of[static_cast<std::size_t>(root)] =
+          static_cast<std::int32_t>(comps.size());
+      comps.push_back({static_cast<std::int32_t>(comps.size()), 0});
+    }
+    ++comps[static_cast<std::size_t>(
+                comp_of[static_cast<std::size_t>(root)])]
+          .routers;
+  }
+  std::vector<std::int32_t> order(comps.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&comps](std::int32_t x,
+                                                 std::int32_t y) {
+    const auto& a = comps[static_cast<std::size_t>(x)];
+    const auto& b = comps[static_cast<std::size_t>(y)];
+    return a.routers != b.routers ? a.routers > b.routers : a.id < b.id;
+  });
+  std::vector<std::int64_t> load(static_cast<std::size_t>(shards), 0);
+  std::vector<std::int32_t> comp_shard(comps.size(), 0);
+  for (const std::int32_t c : order) {
+    std::int32_t best = 0;
+    for (std::int32_t s = 1; s < shards; ++s) {
+      if (load[static_cast<std::size_t>(s)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = s;
+      }
+    }
+    comp_shard[static_cast<std::size_t>(c)] = best;
+    load[static_cast<std::size_t>(best)] +=
+        comps[static_cast<std::size_t>(c)].routers;
+  }
+
+  // Routers take their component's shard; hosts take their router's.
+  for (std::int32_t n = 0; n < net.node_count(); ++n) {
+    if (net.is_host(NodeId{n})) continue;
+    out.node_shard[static_cast<std::size_t>(n)] = comp_shard[
+        static_cast<std::size_t>(comp_of[static_cast<std::size_t>(
+            uf.find(n))])];
+  }
+  for (const NodeId h : net.hosts()) {
+    out.node_shard[static_cast<std::size_t>(h.value())] =
+        out.shard_of(net.host_router(h));
+  }
+
+  // Derive the lookahead from the actual cut.
+  for (std::int32_t e = 0; e < net.link_count(); ++e) {
+    const Link& l = net.link(LinkId{e});
+    if (!out.crosses(l)) continue;
+    BNECK_EXPECT(!net.is_host(l.src) && !net.is_host(l.dst),
+                 "host access link crosses shards");
+    BNECK_EXPECT(l.prop_delay > 0, "zero-delay cross-shard link");
+    out.cut_links.push_back(LinkId{e});
+    out.lookahead = std::min(out.lookahead, l.prop_delay);
+  }
+  return out;
+}
+
+}  // namespace bneck::net

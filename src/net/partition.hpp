@@ -1,0 +1,78 @@
+// Topology partitioning for the sharded parallel engine.
+//
+// The conservative PDES scheme (sim/sharded.hpp) advances every shard in
+// lock-step time windows whose width is the *minimum propagation delay of
+// any cross-shard link* — the lookahead.  The partitioner's whole job is
+// therefore to cut the router graph so that the cheapest cut edge is as
+// slow as possible: wide lookahead means wide windows, few barriers, and
+// little cross-shard traffic.  On the transit-stub WANs this repo
+// simulates, that cut falls naturally between stub domains (1 µs LAN
+// links inside, 1–10 ms WAN links between), exactly the structure the
+// delay-based clustering below recovers.
+//
+// Algorithm: single-linkage clustering over the router subgraph — the
+// exact max-spacing k-clustering method.  Merge router-router edges in
+// ascending (prop_delay, link id) order, skipping merges that would grow
+// a component past a balance cap; the surviving inter-component edges are
+// then the slowest possible, and components are bin-packed (largest
+// first, smallest router id breaking ties) onto K shards.  Every step
+// iterates ids in ascending order, so the partition is a pure function of
+// (network, K, balance) — determinism the byte-identical A/B gate relies
+// on.
+//
+// Hosts are not partitioned independently: a host always lives on its
+// router's shard, which keeps the dedicated access-link pair intra-shard
+// by construction.  Only router-router links can ever cross shards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "base/time.hpp"
+#include "net/network.hpp"
+
+namespace bneck::net {
+
+/// A deterministic assignment of every node to one of `shard_count`
+/// shards, with the derived conservative lookahead.
+struct NetPartition {
+  std::int32_t shard_count = 1;
+  /// Per node id: owning shard in [0, shard_count).
+  std::vector<std::int32_t> node_shard;
+  /// Minimum prop_delay over links whose endpoints live on different
+  /// shards; kTimeNever when no link crosses (every window then runs to
+  /// local idle).  Strictly positive otherwise — zero-delay cross links
+  /// would make conservative windows empty, and the builder rejects them.
+  TimeNs lookahead = kTimeNever;
+  /// Cross-shard directed links, ascending id (introspection/tests).
+  std::vector<LinkId> cut_links;
+
+  [[nodiscard]] std::int32_t shard_of(NodeId n) const {
+    return node_shard[static_cast<std::size_t>(n.value())];
+  }
+  /// True when src and dst of `l` live on different shards.
+  [[nodiscard]] bool crosses(const Link& l) const {
+    return shard_of(l.src) != shard_of(l.dst);
+  }
+  /// Routers per shard (introspection/tests).
+  [[nodiscard]] std::vector<std::int32_t> routers_per_shard(
+      const Network& net) const;
+};
+
+struct PartitionConfig {
+  /// Requested shard count; the effective count is
+  /// min(shards, router_count) and at least 1.
+  std::int32_t shards = 1;
+  /// A component may grow to at most balance_slack * routers / shards
+  /// routers during clustering (>= 1.0).  Larger values favor lookahead
+  /// over balance.
+  double balance_slack = 1.25;
+};
+
+/// Partitions `net` deterministically.  Requires every router-router link
+/// to have prop_delay > 0 when it could end up cross-shard (enforced on
+/// the actual cut).
+NetPartition partition_network(const Network& net, const PartitionConfig& cfg);
+
+}  // namespace bneck::net

@@ -1,0 +1,278 @@
+// Conservative parallel-discrete-event scheduling across shards.
+//
+// ShardedScheduler<Payload> advances K privately-owned simulators in
+// barrier-synchronized time windows.  The conservative invariant comes
+// from the network model: a message sent from one shard during a window
+// arrives at least `lookahead` later (lookahead = minimum propagation
+// delay of any cross-shard link, net/partition.hpp), so a window of that
+// width can run with no incoming surprises.  Windows are not fixed-width
+// on the timeline, though: after every exchange the next horizon is
+//
+//     H = (min over shards of the shard's next event time) + lookahead
+//
+// which jumps straight over quiescent gaps — essential here, where LAN
+// lookahead is 1 µs but B-Neck's inter-phase silences span tens of ms.
+//
+// Each round has two barriers:
+//   run barrier    — every shard has processed its events below H
+//                    (Simulator::run_before, min_time()'s O(1) peek is
+//                    the polling primitive) and finished writing its
+//                    outboxes;
+//   sync barrier   — every shard has drained the outboxes addressed to
+//                    it into its own event queue and published its local
+//                    minimum; the barrier's completion step computes the
+//                    next horizon (or termination) before anyone resumes.
+// All cross-thread data (outboxes, horizon) is handed over at these
+// barriers only — no locks, no atomics in the window hot path, and the
+// happens-before edges the barriers provide are exactly what TSan
+// verifies in the build-tsan CI cell.
+//
+// Determinism: every cross-shard message carries (arrival time, source
+// shard, per-source sequence).  Each exchange round sorts its batch on
+// exactly that key before scheduling, and a batch is scheduled at the
+// first barrier after its sends (the conservative invariant puts every
+// arrival at or beyond the next horizon, so the future-dated insert is
+// always legal).  Fixed the shard count, the destination queue therefore
+// receives cross-shard deliveries in identical (time, shard, seq) order
+// on every run — the sharded half of the determinism contract
+// (docs/architecture.md).  Scheduling at the send-adjacent barrier (not
+// the arrival window) also keeps a delivery's insertion sequence aligned
+// with its *send* time, matching the single-thread engine's (time,
+// insertion-seq) order everywhere except for sends that race within one
+// window on different shards — the irreducible ambiguity of parallel
+// execution.
+#pragma once
+
+#include <algorithm>
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <iterator>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/expect.hpp"
+#include "base/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace bneck::sim {
+
+template <class Payload>
+class ShardedScheduler {
+ public:
+  /// Runs on the destination shard's worker thread at the exchange
+  /// barrier; must schedule `payload` into that shard's simulator at
+  /// absolute (future) time t.
+  using Deliver =
+      std::function<void(std::int32_t dst_shard, TimeNs t, const Payload&)>;
+
+  /// `sims[k]` is shard k's private simulator; all must outlive the
+  /// scheduler.  `lookahead` is the partition's cross-shard minimum
+  /// delay (kTimeNever when nothing can cross).
+  ShardedScheduler(std::vector<Simulator*> sims, TimeNs lookahead,
+                   Deliver deliver)
+      : sims_(std::move(sims)),
+        lookahead_(lookahead),
+        deliver_(std::move(deliver)),
+        outbox_(sims_.size() * sims_.size()),
+        post_seq_(sims_.size(), 0),
+        posted_(sims_.size(), 0),
+        local_min_(sims_.size(), kTimeNever),
+        sync_barrier_(static_cast<std::ptrdiff_t>(sims_.size()),
+                      SyncCompletion{this}),
+        run_barrier_(static_cast<std::ptrdiff_t>(sims_.size())) {
+    BNECK_EXPECT(!sims_.empty(), "sharded scheduler needs shards");
+    BNECK_EXPECT(lookahead_ > 0, "non-positive lookahead");
+  }
+
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  [[nodiscard]] std::int32_t shard_count() const {
+    return static_cast<std::int32_t>(sims_.size());
+  }
+
+  /// Queues `payload` for arrival on shard `dst` at absolute time t.
+  /// Must be called from shard `src`'s worker during a window (the
+  /// transport's cross-shard send path); t must respect the lookahead,
+  /// i.e. not fall inside the current window.
+  void post(std::int32_t src, std::int32_t dst, TimeNs t,
+            const Payload& payload) {
+    BNECK_EXPECT(t >= horizon_, "cross-shard message inside the window");
+    auto& box = outbox_[static_cast<std::size_t>(src) * sims_.size() +
+                        static_cast<std::size_t>(dst)];
+    box.push_back(Msg{t, src, post_seq_[static_cast<std::size_t>(src)]++,
+                      payload});
+    ++posted_[static_cast<std::size_t>(src)];
+  }
+
+  /// Runs every shard to global quiescence: all simulators idle and no
+  /// staged or in-flight cross-shard messages.  Spawns shard_count - 1
+  /// worker threads (the calling thread drives shard 0); reusable —
+  /// schedule more work and call again, as the phased experiments do.
+  void run_until_idle() {
+    if (sims_.size() == 1) {
+      sims_[0]->run_until_idle();
+      return;
+    }
+    if (lookahead_ == kTimeNever) {
+      // No link crosses shards: nothing can ever be posted, every shard
+      // just runs to idle independently.
+      run_detached_until_idle();
+      return;
+    }
+    done_ = false;
+    for (std::size_t k = 0; k < sims_.size(); ++k) {
+      local_min_[k] = sims_[k]->next_event_time();
+    }
+    recompute_horizon();
+    if (done_) return;  // globally idle already, nothing to run
+    std::vector<std::thread> pool;
+    pool.reserve(sims_.size() - 1);
+    for (std::size_t k = 1; k < sims_.size(); ++k) {
+      pool.emplace_back([this, k] { worker(static_cast<std::int32_t>(k)); });
+    }
+    worker(0);
+    for (std::thread& t : pool) t.join();
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+  /// Barrier rounds executed since construction (cumulative over runs).
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+  /// Cross-shard messages posted since construction.
+  [[nodiscard]] std::uint64_t messages_posted() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : posted_) total += n;
+    return total;
+  }
+  [[nodiscard]] TimeNs lookahead() const { return lookahead_; }
+
+ private:
+  struct Msg {
+    TimeNs t;
+    std::int32_t src;
+    std::uint64_t seq;
+    Payload payload;
+  };
+  struct SyncCompletion {
+    ShardedScheduler* self;
+    void operator()() noexcept { self->recompute_horizon(); }
+  };
+
+  /// Runs as the sync barrier's completion step — all workers are parked,
+  /// so it reads/writes the shared round state race-free.
+  void recompute_horizon() {
+    TimeNs g = kTimeNever;
+    for (const TimeNs m : local_min_) g = std::min(g, m);
+    if (g == kTimeNever || g > kTimeNever - lookahead_) {
+      done_ = true;
+      return;
+    }
+    horizon_ = g + lookahead_;
+    ++windows_;
+  }
+
+  void worker(std::int32_t k) {
+    const auto i = static_cast<std::size_t>(k);
+    std::vector<Msg> batch;
+    bool failed = false;
+    while (!done_) {
+      if (!failed) {
+        try {
+          sims_[i]->run_before(horizon_);
+        } catch (...) {
+          failed = true;
+          const std::lock_guard<std::mutex> lock(error_mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+      }
+      run_barrier_.arrive_and_wait();
+      // Every outbox is final for this round; collect what is mine and
+      // schedule it right away, in (time, shard, seq) order.  Every
+      // arrival lies at or beyond the next horizon (conservative
+      // invariant), so the future-dated insert is always legal, and
+      // scheduling at the send-adjacent barrier keeps insertion order
+      // close to the single-thread engine's.
+      batch.clear();
+      for (std::size_t src = 0; src < sims_.size(); ++src) {
+        auto& box = outbox_[src * sims_.size() + i];
+        batch.insert(batch.end(), std::make_move_iterator(box.begin()),
+                     std::make_move_iterator(box.end()));
+        box.clear();
+      }
+      if (!failed) {
+        std::sort(batch.begin(), batch.end(), [](const Msg& a, const Msg& b) {
+          if (a.t != b.t) return a.t < b.t;
+          if (a.src != b.src) return a.src < b.src;
+          return a.seq < b.seq;
+        });
+        for (const Msg& m : batch) deliver_(k, m.t, m.payload);
+      }
+      // A failed shard stops contributing work so the healthy shards
+      // can still drain to quiescence before the error is rethrown.
+      local_min_[i] = failed ? kTimeNever : sims_[i]->next_event_time();
+      sync_barrier_.arrive_and_wait();
+    }
+  }
+
+  /// The no-cross-links fast path: independent runs, one thread each.
+  void run_detached_until_idle() {
+    std::vector<std::thread> pool;
+    pool.reserve(sims_.size() - 1);
+    for (std::size_t k = 1; k < sims_.size(); ++k) {
+      pool.emplace_back([this, k] {
+        try {
+          sims_[k]->run_until_idle();
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+      });
+    }
+    try {
+      sims_[0]->run_until_idle();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    for (std::thread& t : pool) t.join();
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+  std::vector<Simulator*> sims_;
+  TimeNs lookahead_;
+  Deliver deliver_;
+
+  // outbox_[src * K + dst]: written by shard src during a window,
+  // drained into shard dst's simulator between the two barriers.
+  std::vector<std::vector<Msg>> outbox_;
+  std::vector<std::uint64_t> post_seq_;  // per-source message sequence
+  std::vector<std::uint64_t> posted_;
+  std::vector<TimeNs> local_min_;      // published at the sync barrier
+
+  // Round state: written only by the sync barrier's completion step (all
+  // workers parked), read by workers after release — the barrier is the
+  // synchronization.
+  TimeNs horizon_ = 0;
+  bool done_ = false;
+  std::uint64_t windows_ = 0;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+
+  std::barrier<SyncCompletion> sync_barrier_;
+  std::barrier<> run_barrier_;
+};
+
+}  // namespace bneck::sim

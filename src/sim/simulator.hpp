@@ -135,6 +135,20 @@ class BasicSimulator {
     now_ = t;
   }
 
+  /// Processes every event with timestamp strictly below `horizon`
+  /// WITHOUT advancing now() past the last fired event — the sharded
+  /// engine's window primitive (sim/sharded.hpp).  Unlike run_until(t),
+  /// the clock is left at the last processed event (or wherever it was,
+  /// if nothing fired), so after the final window a shard's now() equals
+  /// what a single-thread run would report and the quiescence instant is
+  /// byte-identical across shard counts.  The O(1) min_time() peek is
+  /// what makes polling the horizon free.
+  void run_before(TimeNs horizon) {
+    while (!queue_.empty() && queue_.min_time() < horizon) {
+      step();
+    }
+  }
+
   /// Processes exactly one event if available; returns false when idle.
   bool step() {
     if (queue_.empty()) return false;

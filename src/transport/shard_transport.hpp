@@ -1,0 +1,109 @@
+// The shard-local wire backend of the transport seam.
+//
+// ShardTransport is SimTransport's sibling for the sharded parallel
+// engine (core/sharded_bneck.hpp): one instance per shard, bound to that
+// shard's private simulator and protocol.  Links whose destination node
+// lives on the same shard behave exactly like SimTransport — FIFO
+// serialization, transmission + propagation delay, one allocation-free
+// typed delivery event.  Links whose destination lives elsewhere still
+// serialize on the local FIFO channel (the sending side of a directed
+// link always belongs to the shard that owns its source node), but the
+// arrival is handed to a cross-shard post function instead of the local
+// event queue; the sharded scheduler schedules it into the destination
+// shard's simulator at the next exchange barrier (the arrival time is
+// always beyond the next horizon, so the insert is future-dated).
+//
+// Only the paper's reliable loss-free wire is supported — the lossy/ARQ
+// modes keep per-link state that the shard ownership argument does not
+// cover, and the single-thread engine remains the backend for those.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/expect.hpp"
+#include "net/network.hpp"
+#include "net/partition.hpp"
+#include "sim/simulator.hpp"
+#include "transport/sim_transport.hpp"
+#include "transport/transport.hpp"
+
+namespace bneck::transport {
+
+class ShardTransport final
+    : public LinkTransport,
+      public sim::DeliveryHandlerOf<ShardTransport, core::Packet> {
+  friend sim::DeliveryHandlerOf<ShardTransport, core::Packet>;
+
+ public:
+  /// Hands a packet that arrives at time t on a link owned by shard
+  /// `dst_shard` to the cross-shard mailboxes.
+  using PostFn = std::function<void(std::int32_t dst_shard, TimeNs arrival,
+                                    const core::Packet& p)>;
+
+  ShardTransport(sim::Simulator& sim, const net::Network& net,
+                 const net::NetPartition& part, std::int32_t shard,
+                 WireConfig cfg, PostFn post)
+      : sim_(sim),
+        net_(net),
+        part_(part),
+        shard_(shard),
+        cfg_(cfg),
+        post_(std::move(post)),
+        channels_(static_cast<std::size_t>(net.link_count())) {
+    BNECK_EXPECT(!cfg_.reliable_links && cfg_.loss_probability == 0.0,
+                 "sharded engine requires the loss-free wire");
+  }
+
+  ShardTransport(const ShardTransport&) = delete;
+  ShardTransport& operator=(const ShardTransport&) = delete;
+
+  void bind(TransportSink& sink) override {
+    BNECK_EXPECT(sink_ == nullptr, "transport already bound");
+    sink_ = &sink;
+  }
+
+  void send(LinkId physical, const core::Packet& p) override {
+    const net::Link& l = net_.link(physical);
+    BNECK_EXPECT(part_.shard_of(l.src) == shard_,
+                 "send from a link not owned by this shard");
+    const TimeNs arrival = channels_[static_cast<std::size_t>(
+                                         physical.value())]
+                               .transmit(sim_.now(), cfg_.control_tx_time(l),
+                                         l.prop_delay);
+    sink_->on_wire(p, physical);
+    const std::int32_t dst_shard = part_.shard_of(l.dst);
+    if (dst_shard == shard_) {
+      sim_.schedule_delivery_at(arrival, *this, p);
+    } else {
+      post_(dst_shard, arrival, p);
+    }
+  }
+
+  void local(const core::Packet& p) override {
+    sim_.schedule_delivery_in(0, *this, p);
+  }
+
+  [[nodiscard]] TimeNs now() const override { return sim_.now(); }
+
+  /// Entry point for the sharded scheduler's barrier exchange: a packet
+  /// another shard posted, arriving here at absolute (future) time t.
+  void deliver_inbound(TimeNs t, const core::Packet& p) {
+    sim_.schedule_delivery_at(t, *this, p);
+  }
+
+ private:
+  void on_delivery(const core::Packet& p) { sink_->on_packet(p); }
+
+  sim::Simulator& sim_;
+  const net::Network& net_;
+  const net::NetPartition& part_;
+  std::int32_t shard_;
+  WireConfig cfg_;
+  PostFn post_;
+  TransportSink* sink_ = nullptr;
+  std::vector<sim::FifoChannel> channels_;  // per directed link
+};
+
+}  // namespace bneck::transport

@@ -95,33 +95,29 @@ ErrorSampler::Sample ErrorSampler::sample(TimeNs t) {
   return out;
 }
 
-DynamicsRunner::DynamicsRunner(const net::Network& net, Rng& rng,
-                               core::BneckConfig config, TimeNs bin_width)
+PhasePlanner::PhasePlanner(const net::Network& net, Rng& rng)
     : net_(net),
       rng_(rng),
       paths_(net),
-      binner_(bin_width),
-      driver_(sim_, net, config, &binner_),
       used_sources_(static_cast<std::size_t>(net.host_count()), false) {}
 
-PhaseResult DynamicsRunner::run_phase(const PhaseSpec& phase) {
-  PhaseResult result;
-  result.started_at = sim_.now();
-  const std::uint64_t packets_before = driver_.packets_sent();
+PhasePlan PhasePlanner::plan_phase(const PhaseSpec& phase, TimeNs now) {
+  PhasePlan plan;
 
-  // Joins.
+  // Joins.  (Every rng draw below happens in the order the pre-planner
+  // DynamicsRunner made it, interleaved scheduling and all — the
+  // byte-identical figure output across engines depends on it.)
   WorkloadConfig wcfg;
   wcfg.sessions = phase.joins;
-  wcfg.window_start = sim_.now();
+  wcfg.window_start = now;
   wcfg.join_window = phase.window;
   wcfg.demand_fraction = phase.demand_fraction;
-  const auto plans =
+  plan.joins =
       generate_sessions(net_, paths_, wcfg, rng_, used_sources_, next_id_);
   next_id_ += phase.joins;
-  for (const auto& plan : plans) {
-    active_.emplace(plan.id.value(), plan.source_host_index);
+  for (const auto& p : plan.joins) {
+    active_.emplace(p.id.value(), p.source_host_index);
   }
-  schedule_joins(sim_, driver_, plans);
 
   // Leaves and changes draw from sessions active *before* this phase.
   std::vector<std::int32_t> pool;
@@ -137,22 +133,47 @@ PhaseResult DynamicsRunner::run_phase(const PhaseSpec& phase) {
   std::size_t cursor = 0;
   for (std::int32_t k = 0; k < phase.leaves; ++k) {
     const std::int32_t id = pool[cursor++];
-    const TimeNs when = sim_.now() + rng_.uniform_int(0, phase.window - 1);
-    sim_.schedule_at(when, [this, id] { driver_.leave(SessionId{id}); });
+    const TimeNs when = now + rng_.uniform_int(0, phase.window - 1);
+    plan.leaves.push_back({id, when});
     used_sources_[static_cast<std::size_t>(active_.at(id))] = false;
     active_.erase(id);
   }
   for (std::int32_t k = 0; k < phase.changes; ++k) {
     const std::int32_t id = pool[cursor++];
     const Rate demand = rng_.uniform_real(1.0, 100.0);
-    const TimeNs when = sim_.now() + rng_.uniform_int(0, phase.window - 1);
-    sim_.schedule_at(when,
-                     [this, id, demand] { driver_.change(SessionId{id}, demand); });
+    const TimeNs when = now + rng_.uniform_int(0, phase.window - 1);
+    plan.changes.push_back({id, demand, when});
+  }
+  return plan;
+}
+
+DynamicsRunner::DynamicsRunner(const net::Network& net, Rng& rng,
+                               core::BneckConfig config, TimeNs bin_width)
+    : net_(net),
+      binner_(bin_width),
+      driver_(sim_, net, config, &binner_),
+      planner_(net, rng) {}
+
+PhaseResult DynamicsRunner::run_phase(const PhaseSpec& phase) {
+  PhaseResult result;
+  result.started_at = sim_.now();
+  const std::uint64_t packets_before = driver_.packets_sent();
+
+  const PhasePlan plan = planner_.plan_phase(phase, sim_.now());
+  schedule_joins(sim_, driver_, plan.joins);
+  for (const auto& l : plan.leaves) {
+    sim_.schedule_at(l.when,
+                     [this, id = l.id] { driver_.leave(SessionId{id}); });
+  }
+  for (const auto& c : plan.changes) {
+    sim_.schedule_at(c.when, [this, id = c.id, demand = c.demand] {
+      driver_.change(SessionId{id}, demand);
+    });
   }
 
   result.quiescent_at = sim_.run_until_idle();
   result.packets = driver_.packets_sent() - packets_before;
-  result.active_sessions = active_.size();
+  result.active_sessions = driver_.protocol().active_sessions();
   return result;
 }
 
@@ -166,6 +187,96 @@ double DynamicsRunner::max_rate_error() const {
                                 std::max(1.0, sol.rates[i]));
   }
   return worst;
+}
+
+namespace {
+
+std::vector<std::unique_ptr<PacketBinner>> make_shard_binners(
+    std::int32_t shards, TimeNs bin_width) {
+  std::vector<std::unique_ptr<PacketBinner>> binners;
+  binners.reserve(static_cast<std::size_t>(shards));
+  for (std::int32_t k = 0; k < shards; ++k) {
+    binners.push_back(std::make_unique<PacketBinner>(bin_width));
+  }
+  return binners;
+}
+
+std::vector<core::TraceSink*> binner_sinks(
+    const std::vector<std::unique_ptr<PacketBinner>>& binners) {
+  std::vector<core::TraceSink*> sinks;
+  sinks.reserve(binners.size());
+  for (const auto& b : binners) sinks.push_back(b.get());
+  return sinks;
+}
+
+}  // namespace
+
+ShardedDynamicsRunner::ShardedDynamicsRunner(const net::Network& net,
+                                             Rng& rng,
+                                             core::ShardedConfig config,
+                                             TimeNs bin_width)
+    : net_(net),
+      bin_width_(bin_width),
+      // The effective shard count is what the partitioner will settle
+      // on: capped by the router count, at least 1.
+      binners_(make_shard_binners(
+          std::max<std::int32_t>(
+              1, std::min(config.shards, net.router_count())),
+          bin_width)),
+      engine_(std::make_unique<core::ShardedBneck>(net, config,
+                                                   binner_sinks(binners_))),
+      planner_(net, rng) {
+  BNECK_EXPECT(static_cast<std::size_t>(engine_->shard_count()) ==
+                   binners_.size(),
+               "shard count drifted from the partitioner");
+}
+
+PhaseResult ShardedDynamicsRunner::run_phase(const PhaseSpec& phase) {
+  PhaseResult result;
+  result.started_at = engine_->now();
+  const std::uint64_t packets_before = engine_->packets_sent();
+
+  const PhasePlan plan = planner_.plan_phase(phase, engine_->now());
+  for (const auto& p : plan.joins) {
+    engine_->schedule_join(p.join_at, p.id, p.path, p.demand, p.weight);
+  }
+  for (const auto& l : plan.leaves) {
+    engine_->schedule_leave(l.when, SessionId{l.id});
+  }
+  for (const auto& c : plan.changes) {
+    engine_->schedule_change(c.when, SessionId{c.id}, c.demand);
+  }
+
+  result.quiescent_at = engine_->run_until_idle();
+  result.packets = engine_->packets_sent() - packets_before;
+  result.active_sessions = engine_->active_sessions();
+  return result;
+}
+
+double ShardedDynamicsRunner::max_rate_error() const {
+  const auto specs = engine_->active_specs();
+  const auto sol = core::solve_waterfill(net_, specs);
+  double worst = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const Rate a = engine_->notified_rate(specs[i].id).value_or(0.0);
+    worst = std::max(worst, std::fabs(a - sol.rates[i]) /
+                                std::max(1.0, sol.rates[i]));
+  }
+  return worst;
+}
+
+stats::BinnedCounter ShardedDynamicsRunner::bins() const {
+  stats::BinnedCounter merged(bin_width_, packet_categories());
+  for (const auto& binner : binners_) {
+    const stats::BinnedCounter& b = binner->bins();
+    for (std::size_t bin = 0; bin < b.bin_count(); ++bin) {
+      for (std::size_t c = 0; c < b.category_count(); ++c) {
+        const std::uint64_t n = b.at(bin, c);
+        if (n > 0) merged.add(b.bin_start(bin), c, n);
+      }
+    }
+  }
+  return merged;
 }
 
 TrackedResult run_tracked(sim::Simulator& sim,

@@ -7,16 +7,22 @@
 //                     link against the centralized solution (Fig. 7),
 //                     plus convergence detection for the non-quiescent
 //                     baselines.
+//   PhasePlanner    — deterministic churn plans drawn once per phase,
+//                     shared verbatim by the single-thread and sharded
+//                     runners so their figure output is byte-identical.
 //   DynamicsRunner  — phased join/leave/change dynamics with quiescence
 //                     measurement (Figs. 5 and 6, Experiment 2).
+//   ShardedDynamicsRunner — the same phases on core::ShardedBneck.
 //   run_tracked     — fixed-horizon sampled run (Experiment 3).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/maxmin.hpp"
+#include "core/sharded_bneck.hpp"
 #include "core/trace.hpp"
 #include "proto/bneck_driver.hpp"
 #include "stats/summary.hpp"
@@ -94,6 +100,48 @@ struct PhaseResult {
   [[nodiscard]] TimeNs duration() const { return quiescent_at - started_at; }
 };
 
+/// The fully-drawn churn of one phase: every join plan plus the (id,
+/// time) of every leave and the (id, demand, time) of every change.
+/// A plan is what both engines schedule — the rng is consulted only
+/// while building it, never while scheduling, which is how the sharded
+/// runner reproduces the classic runner's workload bit-for-bit.
+struct PhasePlan {
+  struct Leave {
+    std::int32_t id;
+    TimeNs when;
+  };
+  struct Change {
+    std::int32_t id;
+    Rate demand;
+    TimeNs when;
+  };
+  std::vector<SessionPlan> joins;
+  std::vector<Leave> leaves;
+  std::vector<Change> changes;
+};
+
+/// Draws phase plans in the exact rng order DynamicsRunner has always
+/// used (generate_sessions, then the shuffled churn pool, then per-leave
+/// and per-change draws) — the byte-identity gate pins that order.
+/// Tracks session-id allocation and source-host reuse across phases.
+class PhasePlanner {
+ public:
+  PhasePlanner(const net::Network& net, Rng& rng);
+
+  /// Plans one phase starting at `now` (joins/leaves/changes all land in
+  /// [now, now + phase.window)).
+  PhasePlan plan_phase(const PhaseSpec& phase, TimeNs now);
+
+ private:
+  const net::Network& net_;
+  Rng& rng_;
+  net::PathFinder paths_;
+  std::vector<bool> used_sources_;
+  // Active session id -> index of its source host (freed on leave).
+  std::unordered_map<std::int32_t, std::int32_t> active_;
+  std::int32_t next_id_ = 0;
+};
+
 /// Drives B-Neck through arbitrary phase sequences on one network,
 /// tracking per-type packet bins and verifying rates between phases.
 class DynamicsRunner {
@@ -116,15 +164,40 @@ class DynamicsRunner {
 
  private:
   const net::Network& net_;
-  Rng& rng_;
-  net::PathFinder paths_;
   sim::Simulator sim_;
   PacketBinner binner_;
   proto::BneckDriver driver_;
-  std::vector<bool> used_sources_;
-  // Active session id -> index of its source host (freed on leave).
-  std::unordered_map<std::int32_t, std::int32_t> active_;
-  std::int32_t next_id_ = 0;
+  PhasePlanner planner_;
+};
+
+/// DynamicsRunner's phases on the sharded parallel engine
+/// (core::ShardedBneck): same workload plans, same figure output, K
+/// worker threads.  Per-shard PacketBinners absorb each shard's trace on
+/// its own worker thread; bins() merges them after the run (integer
+/// sums, so the merged series is independent of shard count).
+class ShardedDynamicsRunner {
+ public:
+  ShardedDynamicsRunner(const net::Network& net, Rng& rng,
+                        core::ShardedConfig config = {},
+                        TimeNs bin_width = milliseconds(5));
+
+  PhaseResult run_phase(const PhaseSpec& phase);
+
+  /// Max relative deviation (fraction) of notified rates from the
+  /// centralized solution; 0 when perfectly converged.
+  [[nodiscard]] double max_rate_error() const;
+
+  /// Per-type packet bins merged across shards.
+  [[nodiscard]] stats::BinnedCounter bins() const;
+
+  [[nodiscard]] const core::ShardedBneck& engine() const { return *engine_; }
+
+ private:
+  const net::Network& net_;
+  TimeNs bin_width_;
+  std::vector<std::unique_ptr<PacketBinner>> binners_;  // one per shard
+  std::unique_ptr<core::ShardedBneck> engine_;
+  PhasePlanner planner_;
 };
 
 /// Experiment-3-style run: fixed horizon, periodic error samples.

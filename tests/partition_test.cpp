@@ -1,0 +1,163 @@
+// Tests for the deterministic network partitioner feeding the sharded
+// engine (net/partition.hpp): shard assignment is a pure function of
+// the network and config, hosts always follow their router, the cut
+// never severs an access link, lookahead is derived from the actual
+// cut, and on delay-heterogeneous topologies the max-spacing clustering
+// keeps fast links interior so the cut is made of slow ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/partition.hpp"
+#include "topo/canonical.hpp"
+#include "topo/transit_stub.hpp"
+
+namespace bneck::net {
+namespace {
+
+net::Network wan_transit_stub(std::uint64_t seed) {
+  auto params = topo::small_params();
+  params.delay_model = topo::DelayModel::Wan;
+  params.hosts = 200;
+  Rng rng(seed);
+  return topo::make_transit_stub(params, rng);
+}
+
+TEST(Partition, SingleShardIsTrivial) {
+  const net::Network n = topo::make_parking_lot(3);
+  PartitionConfig cfg;
+  cfg.shards = 1;
+  const NetPartition p = partition_network(n, cfg);
+  EXPECT_EQ(p.shard_count, 1);
+  EXPECT_EQ(p.lookahead, kTimeNever);
+  EXPECT_TRUE(p.cut_links.empty());
+  for (std::int32_t node = 0; node < n.node_count(); ++node) {
+    EXPECT_EQ(p.shard_of(NodeId{node}), 0);
+  }
+}
+
+TEST(Partition, ShardCountCappedByRouterCount) {
+  const net::Network n = topo::make_parking_lot(3);  // 4 routers
+  PartitionConfig cfg;
+  cfg.shards = 64;
+  const NetPartition p = partition_network(n, cfg);
+  EXPECT_EQ(p.shard_count, n.router_count());
+}
+
+TEST(Partition, HostsFollowTheirRouter) {
+  const net::Network n = wan_transit_stub(7);
+  PartitionConfig cfg;
+  cfg.shards = 4;
+  const NetPartition p = partition_network(n, cfg);
+  for (const NodeId h : n.hosts()) {
+    EXPECT_EQ(p.shard_of(h), p.shard_of(n.host_router(h)));
+  }
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  PartitionConfig cfg;
+  cfg.shards = 4;
+  const net::Network a = wan_transit_stub(7);
+  const net::Network b = wan_transit_stub(7);
+  const NetPartition pa = partition_network(a, cfg);
+  const NetPartition pb = partition_network(b, cfg);
+  EXPECT_EQ(pa.node_shard, pb.node_shard);
+  EXPECT_EQ(pa.lookahead, pb.lookahead);
+  EXPECT_EQ(pa.cut_links, pb.cut_links);
+}
+
+TEST(Partition, EveryShardPopulatedAndBalanceCapRespected) {
+  const net::Network n = wan_transit_stub(11);
+  PartitionConfig cfg;
+  cfg.shards = 4;
+  cfg.balance_slack = 1.25;
+  const NetPartition p = partition_network(n, cfg);
+  const std::vector<std::int32_t> counts = p.routers_per_shard(n);
+  ASSERT_EQ(counts.size(), 4u);
+  const auto cap = static_cast<std::int32_t>(
+      cfg.balance_slack * n.router_count() / cfg.shards + 1);
+  for (const std::int32_t c : counts) {
+    EXPECT_GT(c, 0);
+    EXPECT_LE(c, cap);
+  }
+}
+
+TEST(Partition, CutNeverSeversAccessLinksAndLookaheadIsMinCutDelay) {
+  const net::Network n = wan_transit_stub(3);
+  PartitionConfig cfg;
+  cfg.shards = 4;
+  const NetPartition p = partition_network(n, cfg);
+  ASSERT_FALSE(p.cut_links.empty());
+  TimeNs min_cut = kTimeNever;
+  for (std::int32_t e = 0; e < n.link_count(); ++e) {
+    const Link& l = n.link(LinkId{e});
+    if (!p.crosses(l)) continue;
+    EXPECT_FALSE(n.is_host(l.src) || n.is_host(l.dst));
+    EXPECT_GT(l.prop_delay, 0);
+    min_cut = std::min(min_cut, l.prop_delay);
+    EXPECT_TRUE(std::find(p.cut_links.begin(), p.cut_links.end(), LinkId{e}) !=
+                p.cut_links.end());
+  }
+  EXPECT_EQ(p.lookahead, min_cut);
+}
+
+TEST(Partition, FastLinksStayInteriorOnDelayHeterogeneousTopology) {
+  // Two tight clusters (1 us internal links) joined by a single slow
+  // 5 ms link: the max-spacing clustering must cut exactly the slow
+  // bridge, giving a millisecond-scale lookahead instead of the 1 us a
+  // naive cut through a cluster would leave.
+  net::Network n;
+  std::vector<NodeId> left, right;
+  for (int i = 0; i < 4; ++i) left.push_back(n.add_router());
+  for (int i = 0; i < 4; ++i) right.push_back(n.add_router());
+  for (int i = 1; i < 4; ++i) {
+    n.add_link_pair(left[0], left[static_cast<std::size_t>(i)], 200.0,
+                    microseconds(1));
+    n.add_link_pair(right[0], right[static_cast<std::size_t>(i)], 200.0,
+                    microseconds(1));
+  }
+  n.add_link_pair(left[3], right[3], 500.0, milliseconds(5));
+  for (int i = 0; i < 4; ++i) {
+    n.add_host(left[static_cast<std::size_t>(i)], 100.0, microseconds(1));
+    n.add_host(right[static_cast<std::size_t>(i)], 100.0, microseconds(1));
+  }
+
+  PartitionConfig cfg;
+  cfg.shards = 2;
+  const NetPartition p = partition_network(n, cfg);
+  EXPECT_EQ(p.shard_count, 2);
+  EXPECT_EQ(p.lookahead, milliseconds(5));
+  ASSERT_EQ(p.cut_links.size(), 2u);  // the bridge, both directions
+  for (const LinkId e : p.cut_links) {
+    EXPECT_EQ(n.link(e).prop_delay, milliseconds(5));
+  }
+  // Each cluster lands whole on one shard.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(p.shard_of(left[static_cast<std::size_t>(i)]),
+              p.shard_of(left[0]));
+    EXPECT_EQ(p.shard_of(right[static_cast<std::size_t>(i)]),
+              p.shard_of(right[0]));
+  }
+  EXPECT_NE(p.shard_of(left[0]), p.shard_of(right[0]));
+}
+
+TEST(Partition, MediumLanNetworkSplitsWithPositiveLookahead) {
+  // The exp2 configuration: uniform 1 us LAN delays.  There is no slow
+  // cut to find, but the partition must still balance and report the
+  // LAN delay as lookahead.
+  auto params = topo::medium_params();
+  params.hosts = 500;
+  Rng rng(1);
+  const net::Network n = topo::make_transit_stub(params, rng);
+  PartitionConfig cfg;
+  cfg.shards = 4;
+  const NetPartition p = partition_network(n, cfg);
+  EXPECT_EQ(p.shard_count, 4);
+  EXPECT_EQ(p.lookahead, microseconds(1));
+  EXPECT_FALSE(p.cut_links.empty());
+  for (const std::int32_t c : p.routers_per_shard(n)) EXPECT_GT(c, 0);
+}
+
+}  // namespace
+}  // namespace bneck::net

@@ -636,6 +636,140 @@ TEST(TypedEvents, NextEventTimeTracksTheHeapHead) {
   EXPECT_EQ(s.next_event_time(), kTimeNever);
 }
 
+// ---- run_before: the sharded engine's window primitive ----
+
+TEST(Simulator, RunBeforeStopsStrictlyBelowHorizonWithoutAdvancingNow) {
+  // Unlike run_until, run_before must leave now() at the last *fired*
+  // event: the sharded barrier loop takes the global quiescence instant
+  // as max over shards of now(), which only matches the single-thread
+  // engine if idle shards do not coast forward to their horizon.
+  Simulator s;
+  std::vector<TimeNs> fired;
+  for (TimeNs t : {10, 20, 30}) {
+    s.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  s.run_before(20);
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10}));  // 20 is outside (strict <)
+  EXPECT_EQ(s.now(), 10);
+  EXPECT_EQ(s.pending(), 2u);
+  s.run_before(31);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, RunBeforeOnIdleQueueIsANoOp) {
+  Simulator s;
+  s.run_before(100);
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, RunBeforeHonorsEventsSpawnedInsideTheWindow) {
+  Simulator s;
+  std::vector<TimeNs> fired;
+  s.schedule_at(5, [&] {
+    fired.push_back(5);
+    s.schedule_at(15, [&] { fired.push_back(15); });
+    s.schedule_at(25, [&] { fired.push_back(25); });
+  });
+  s.run_before(20);
+  EXPECT_EQ(fired, (std::vector<TimeNs>{5, 15}));
+  EXPECT_EQ(s.next_event_time(), 25);
+}
+
+// ---- min_time(): the barrier polling primitive, pinned on both queue
+// policies through their structural edge cases ----
+
+/// Drains the queue checking min_time() against a reference sorted
+/// multiset after every prepared pop; returns the fire sequence.
+template <class Queue>
+std::vector<TimeNs> drain_checking_min(Queue& q, std::vector<TimeNs> ref) {
+  std::sort(ref.begin(), ref.end());
+  std::vector<TimeNs> fired;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(q.min_time(), ref[i]) << "before pop " << i;
+    TimeNs t = -1;
+    (void)q.pop(&t);
+    fired.push_back(t);
+    q.prepare();
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.min_time(), kTimeNever);
+  return fired;
+}
+
+template <class Queue>
+void min_time_empty_queue() {
+  Queue q;
+  EXPECT_EQ(q.min_time(), kTimeNever);
+  q.push(42, 0, Event([] {}));
+  EXPECT_EQ(q.min_time(), 42);
+  TimeNs t = -1;
+  (void)q.pop(&t);
+  q.prepare();
+  EXPECT_EQ(t, 42);
+  EXPECT_EQ(q.min_time(), kTimeNever);
+}
+
+TEST(QueueMinTime, EmptyQueueReportsNeverOnBothQueues) {
+  min_time_empty_queue<LadderQueue>();
+  min_time_empty_queue<HeapQueue>();
+}
+
+template <class Queue>
+void min_time_batch_drain() {
+  // A straggler at t=5 anchors bottom; a same-timestamp burst at t=100
+  // larger than LadderQueue::kBottomThreshold lands in top and comes
+  // back through the batch-drain refill path, with a tail run at t=200
+  // behind it.  min_time must track 5, then 100 across the whole batch,
+  // then 200, then never.
+  Queue q;
+  std::uint64_t seq = 0;
+  std::vector<TimeNs> ref;
+  const auto push = [&](TimeNs t) {
+    q.push(t, seq++, Event([] {}));
+    ref.push_back(t);
+  };
+  push(5);
+  for (int i = 0; i < 1500; ++i) push(100);
+  for (int i = 0; i < 3; ++i) push(200);
+  const std::vector<TimeNs> fired = drain_checking_min(q, ref);
+  std::vector<TimeNs> want = ref;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(fired, want);
+}
+
+TEST(QueueMinTime, SurvivesBatchDrainOnBothQueues) {
+  min_time_batch_drain<LadderQueue>();
+  min_time_batch_drain<HeapQueue>();
+}
+
+template <class Queue>
+void min_time_spill_guard() {
+  // Descending pushes grow bottom into a sorted working set and each
+  // insert lands at its front; once the splice depth passes
+  // LadderQueue::kSpliceDepth the pending run spills into a fresh rung
+  // (the quadratic-insert guard).  min_time must stay the true minimum
+  // through the spill and the drain that follows.
+  Queue q;
+  std::uint64_t seq = 0;
+  std::vector<TimeNs> ref;
+  for (TimeNs t = 2000; t > 1800; --t) {  // > kSpliceDepth descending pushes
+    q.push(t, seq++, Event([] {}));
+    ref.push_back(t);
+    EXPECT_EQ(q.min_time(), t);
+  }
+  const std::vector<TimeNs> fired = drain_checking_min(q, ref);
+  std::vector<TimeNs> want = ref;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(fired, want);
+}
+
+TEST(QueueMinTime, SurvivesSpillGuardDemotionOnBothQueues) {
+  min_time_spill_guard<LadderQueue>();
+  min_time_spill_guard<HeapQueue>();
+}
+
 TEST(FifoChannel, IdleLinkDeliversAfterTxPlusProp) {
   FifoChannel ch;
   EXPECT_EQ(ch.transmit(100, 10, 1000), 1110);

@@ -1,15 +1,20 @@
 // Tests for workload generation and the experiment harness.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
+#include <optional>
 #include <set>
+#include <string>
 
+#include "base/expect.hpp"
 #include "proto/bfyz.hpp"
 #include "proto/bneck_driver.hpp"
 #include "topo/canonical.hpp"
 #include "topo/transit_stub.hpp"
 #include "workload/experiment.hpp"
 #include "workload/load_monitor.hpp"
+#include "workload/parallel.hpp"
 #include "workload/workload.hpp"
 
 namespace bneck::workload {
@@ -555,6 +560,60 @@ TEST(ScheduleLeaves, LeavesHappenAfterJoins) {
   schedule_leaves(sim, driver, plans, 0, 5, milliseconds(5), rng);
   sim.run_until_idle();  // would throw if a leave preceded its join
   EXPECT_EQ(driver.active_specs().size(), 5u);
+}
+
+// ---- $BNECK_THREADS parsing (workload/parallel.cpp) ----
+
+/// Restores the pre-test $BNECK_THREADS on scope exit so the test can
+/// mutate the environment freely.
+class ScopedThreadsEnv {
+ public:
+  ScopedThreadsEnv() {
+    if (const char* v = std::getenv("BNECK_THREADS")) saved_ = v;
+  }
+  ~ScopedThreadsEnv() {
+    if (saved_) {
+      ::setenv("BNECK_THREADS", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("BNECK_THREADS");
+    }
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(Parallelism, HonorsExplicitThreadCount) {
+  const ScopedThreadsEnv guard;
+  ::setenv("BNECK_THREADS", "3", 1);
+  EXPECT_EQ(default_parallelism(), 3u);
+}
+
+TEST(Parallelism, UnsetOrEmptyFallsBackToHardware) {
+  const ScopedThreadsEnv guard;
+  ::unsetenv("BNECK_THREADS");
+  EXPECT_GE(default_parallelism(), 1u);
+  // The `BNECK_THREADS= cmd` idiom means unset, not zero.
+  ::setenv("BNECK_THREADS", "", 1);
+  EXPECT_GE(default_parallelism(), 1u);
+}
+
+TEST(Parallelism, GarbageThreadCountIsAnErrorNotAFallback) {
+  // A silent fallback would make scaling benchmarks lie about their
+  // worker count, so every unusable value must throw.
+  const ScopedThreadsEnv guard;
+  for (const char* bad : {"abc", "4x", "x4", "3.5"}) {
+    ::setenv("BNECK_THREADS", bad, 1);
+    EXPECT_THROW((void)default_parallelism(), InvariantError) << bad;
+  }
+}
+
+TEST(Parallelism, NonPositiveOrOverflowingThreadCountThrows) {
+  const ScopedThreadsEnv guard;
+  for (const char* bad : {"0", "-1", "-42", "999999999999999999999999"}) {
+    ::setenv("BNECK_THREADS", bad, 1);
+    EXPECT_THROW((void)default_parallelism(), InvariantError) << bad;
+  }
 }
 
 }  // namespace
